@@ -1,0 +1,99 @@
+"""Experiment abl-optimizers — mapping-search strategies compared.
+
+Greedy seed -> the paper's swap descent -> simulated annealing, against
+a uniform random-search baseline with the same evaluation budget, on the
+hardest structured case in the suite: MPEG4 on the mesh with split
+routing (feasibility requires coordinated diagonal placements).
+
+Expected: the structured searches dominate random search; annealing
+matches or slightly betters swap descent; the paper's algorithm is
+within a few percent of the best found.
+"""
+
+from conftest import once, write_artifact
+
+from repro.core.annealing import (
+    AnnealingConfig,
+    random_search_map,
+    simulated_annealing_map,
+)
+from repro.core.constraints import Constraints
+from repro.core.evaluate import evaluate_mapping
+from repro.core.greedy import initial_greedy_mapping
+from repro.core.mapper import MapperConfig, map_onto
+from repro.routing.library import make_routing
+from repro.topology.library import make_topology
+
+BUDGET = 1200  # evaluations for annealing / random search
+
+
+def run_experiment(mpeg4_app):
+    topo = make_topology("mesh", mpeg4_app.num_cores)
+    constraints = Constraints()
+    rows = {}
+    rows["greedy"] = evaluate_mapping(
+        mpeg4_app, topo, initial_greedy_mapping(mpeg4_app, topo),
+        make_routing("SM"), constraints,
+    )
+    rows["swap (paper)"] = map_onto(
+        mpeg4_app, topo, routing="SM", objective="hops",
+        constraints=constraints,
+        config=MapperConfig(converge=False, swap_rounds=1),
+    )
+    rows["swap converged"] = map_onto(
+        mpeg4_app, topo, routing="SM", objective="hops",
+        constraints=constraints,
+        config=MapperConfig(converge=True, max_rounds=10),
+    )
+    rows["annealing solo"] = simulated_annealing_map(
+        mpeg4_app, topo, routing="SM", objective="hops",
+        constraints=constraints,
+        config=AnnealingConfig(iterations=BUDGET, seed=3),
+    )
+    rows["anneal refine"] = simulated_annealing_map(
+        mpeg4_app, topo, routing="SM", objective="hops",
+        constraints=constraints,
+        config=AnnealingConfig(iterations=BUDGET, seed=3),
+        initial_assignment=rows["swap converged"].assignment,
+    )
+    rows["random search"] = random_search_map(
+        mpeg4_app, topo, routing="SM", objective="hops",
+        constraints=constraints, iterations=BUDGET, seed=3,
+    )
+    return rows
+
+
+def test_ablation_optimizers(benchmark, mpeg4_app):
+    rows = once(benchmark, lambda: run_experiment(mpeg4_app))
+
+    lines = [
+        f"MPEG4 on mesh-3x4, SM routing, hops objective "
+        f"(budget {BUDGET} evals)"
+    ]
+    lines.append(
+        f"{'strategy':<16}{'feasible':>9}{'avg hops':>9}{'max load':>10}"
+    )
+    for name, ev in rows.items():
+        lines.append(
+            f"{name:<16}{str(ev.feasible):>9}{ev.avg_hops:>9.3f}"
+            f"{ev.max_link_load:>10.1f}"
+        )
+    write_artifact("ablation_optimizers", "\n".join(lines))
+
+    # The converged swap search reaches feasibility; annealing seeded
+    # from it stays feasible and can only match or improve it.
+    assert rows["swap converged"].feasible
+    assert rows["anneal refine"].feasible
+    assert (
+        rows["anneal refine"].sort_key() <= rows["swap converged"].sort_key()
+    )
+    # Every structured search beats the unstructured baselines under the
+    # feasibility-first ordering.
+    for name in ("swap converged", "anneal refine", "annealing solo"):
+        assert rows[name].sort_key() <= rows["greedy"].sort_key()
+    for name in ("swap converged", "anneal refine"):
+        assert rows[name].sort_key() <= rows["random search"].sort_key()
+    # Finding worth recording: within this budget the stochastic solo
+    # anneal does NOT reliably reach feasibility on this instance —
+    # the paper's steepest-descent swap phase is the stronger search
+    # for coordinated placement constraints (see EXPERIMENTS.md).

@@ -1,0 +1,66 @@
+"""Experiment abl-tech — area-power libraries across technology nodes.
+
+Section 5: "The area-power models are used to generate area-power
+libraries for various switch configurations for different technology
+parameters." We regenerate the VOPD mesh design point at 130 nm, 100 nm
+(the paper's node) and 65 nm via constant-field scaling and check the
+expected monotonicity: smaller nodes shrink both area and power while
+leaving the topology ranking untouched.
+"""
+
+from conftest import BENCH_CONFIG, once, write_artifact
+
+from repro.core.mapper import map_onto
+from repro.physical.estimate import NetworkEstimator
+from repro.physical.technology import scaled_technology
+from repro.topology.library import make_topology
+
+NODES_UM = (0.13, 0.10, 0.065)
+
+
+def run_experiment(vopd_app):
+    rows = {}
+    for feature in NODES_UM:
+        estimator = NetworkEstimator(scaled_technology(feature))
+        evs = {}
+        for topo_name in ("mesh", "butterfly"):
+            topo = make_topology(topo_name, vopd_app.num_cores)
+            evs[topo_name] = map_onto(
+                vopd_app, topo, routing="MP", objective="hops",
+                estimator=estimator, config=BENCH_CONFIG,
+            )
+        rows[feature] = evs
+    return rows
+
+
+def test_ablation_technology_scaling(benchmark, vopd_app):
+    rows = once(benchmark, lambda: run_experiment(vopd_app))
+
+    lines = [
+        f"{'node':<8}{'mesh area':>10}{'mesh mW':>9}{'bfly area':>10}"
+        f"{'bfly mW':>9}"
+    ]
+    for feature in NODES_UM:
+        evs = rows[feature]
+        lines.append(
+            f"{int(feature * 1000):>4} nm"
+            f"{evs['mesh'].area_mm2:>12.2f}{evs['mesh'].power_mw:>9.1f}"
+            f"{evs['butterfly'].area_mm2:>10.2f}"
+            f"{evs['butterfly'].power_mw:>9.1f}"
+        )
+    write_artifact("ablation_technology", "\n".join(lines))
+
+    # Monotone shrink of network power with feature size; the butterfly
+    # stays the winner at every node.
+    for topo_name in ("mesh", "butterfly"):
+        powers = [rows[f][topo_name].power_mw for f in NODES_UM]
+        assert powers == sorted(powers, reverse=True)
+    for feature in NODES_UM:
+        assert (
+            rows[feature]["butterfly"].power_mw
+            < rows[feature]["mesh"].power_mw
+        )
+        assert (
+            rows[feature]["butterfly"].area_mm2
+            < rows[feature]["mesh"].area_mm2
+        )

@@ -1,0 +1,47 @@
+"""Experiment fig11 — Figures 10(b)/11: butterfly floorplan + SystemC.
+
+Phase 3 on the DSP filter: the chosen 3-ary 2-fly is pruned to four 3x3
+switches (Figure 10(b)'s floorplan) and the whole design is emitted as
+SystemC (Figure 11 shows the authors' simulation of exactly this
+output). We verify and archive the generated artifact.
+"""
+
+from conftest import BENCH_CONFIG, once, write_artifact
+
+from repro.core.constraints import Constraints
+from repro.sunmap import run_sunmap
+
+
+def run_experiment(dsp_app):
+    return run_sunmap(
+        dsp_app,
+        routing="MP",
+        objective="hops",
+        constraints=Constraints(link_capacity_mb_s=1000.0),
+        config=BENCH_CONFIG,
+    )
+
+
+def test_fig11_dsp_systemc_generation(benchmark, dsp_app):
+    report = once(benchmark, lambda: run_experiment(dsp_app))
+
+    netlist = report.netlist
+    summary = [
+        f"selected: {report.best_topology_name}",
+        f"switches: {[s.instance for s in netlist.switches]}",
+        f"NIs:      {[n.instance for n in netlist.nis]}",
+        f"links:    {len(netlist.links)}",
+        "",
+        "---- generated SystemC (head) ----",
+    ]
+    summary += report.systemc.splitlines()[:40]
+    write_artifact("fig11_generation", "\n".join(summary))
+
+    assert report.best_topology_name.startswith("butterfly")
+    # Figure 10(b): four 3x3 switches survive pruning.
+    assert len(netlist.switches) == 4
+    assert all(s.n_in == 3 and s.n_out == 3 for s in netlist.switches)
+    assert len(netlist.nis) == 6
+    netlist.validate()
+    assert "sc_main" in report.systemc
+    assert report.systemc.count("{") == report.systemc.count("}")

@@ -1,0 +1,59 @@
+"""Experiment fig3d — Figure 3(d): VOPD mesh vs torus design parameters.
+
+Paper values: avg hops mesh 2.25 / torus 2.03 (ratio 0.9); design area
+54.59 / 57.91 mm² (ratio 1.06); design power 372.1 / 454.9 mW (ratio
+1.22). Expected shape: torus trades lower delay for more area and power.
+"""
+
+from conftest import BENCH_CONFIG, once, write_artifact
+
+from repro.core.mapper import map_onto
+from repro.topology.library import make_topology
+
+PAPER = {
+    "mesh": {"hops": 2.25, "area": 54.59, "power": 372.1},
+    "torus": {"hops": 2.03, "area": 57.91, "power": 454.9},
+}
+
+
+def run_experiment(vopd_app):
+    rows = {}
+    for name in ("mesh", "torus"):
+        topo = make_topology(name, vopd_app.num_cores)
+        rows[name] = map_onto(
+            vopd_app, topo, routing="MP", objective="hops",
+            config=BENCH_CONFIG,
+        )
+    return rows
+
+
+def test_fig3d_vopd_mesh_vs_torus(benchmark, vopd_app):
+    rows = once(benchmark, lambda: run_experiment(vopd_app))
+    mesh, torus = rows["mesh"], rows["torus"]
+
+    lines = [
+        f"{'metric':<14}{'mesh':>10}{'torus':>10}{'tor/mesh':>10}"
+        f"{'paper ratio':>12}",
+    ]
+    for label, m, t, paper_ratio in (
+        ("avg hops", mesh.avg_hops, torus.avg_hops,
+         PAPER["torus"]["hops"] / PAPER["mesh"]["hops"]),
+        ("area mm2", mesh.area_mm2, torus.area_mm2,
+         PAPER["torus"]["area"] / PAPER["mesh"]["area"]),
+        ("power mW", mesh.power_mw, torus.power_mw,
+         PAPER["torus"]["power"] / PAPER["mesh"]["power"]),
+    ):
+        lines.append(
+            f"{label:<14}{m:>10.2f}{t:>10.2f}{t / m:>10.3f}"
+            f"{paper_ratio:>12.3f}"
+        )
+    write_artifact("fig3d_vopd_mesh_torus", "\n".join(lines))
+
+    # Shape assertions (paper Figure 3(d)).
+    assert mesh.feasible and torus.feasible
+    assert torus.avg_hops <= mesh.avg_hops  # torus delay win (~10%)
+    assert 0.85 <= torus.avg_hops / mesh.avg_hops <= 1.0
+    assert torus.area_mm2 > mesh.area_mm2  # mesh area win
+    assert 1.0 < torus.area_mm2 / mesh.area_mm2 < 1.25
+    assert torus.power_mw > mesh.power_mw  # mesh power win
+    assert 1.02 < torus.power_mw / mesh.power_mw < 1.6

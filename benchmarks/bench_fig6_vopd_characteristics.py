@@ -1,0 +1,61 @@
+"""Experiment fig6 — Figure 6: mapping characteristics of VOPD.
+
+Four panels over the five-topology library under minimum-path routing:
+(a) average hop delay — butterfly 2, Clos 3, others between;
+(b) resource utilization — butterfly fewest switches but more links
+    than the mesh;
+(c) design area — butterfly least;
+(d) design power — butterfly least ("large power savings").
+"""
+
+from conftest import BENCH_CONFIG, once, write_artifact
+
+from repro.core.selector import select_topology
+
+PAPER_NOTE = (
+    "paper: bfly hops=2 (min), clos hops=3; bfly least switches/area/"
+    "power; torus > mesh on area & power"
+)
+
+
+def run_experiment(vopd_app):
+    return select_topology(
+        vopd_app, routing="MP", objective="hops", config=BENCH_CONFIG
+    )
+
+
+def test_fig6_vopd_characteristics(benchmark, vopd_app):
+    selection = once(benchmark, lambda: run_experiment(vopd_app))
+    evs = {n.split("-")[0]: ev for n, ev in selection.evaluations.items()}
+
+    lines = [PAPER_NOTE, ""]
+    lines.append(
+        f"{'topology':<12}{'avg hops':>9}{'switches':>9}{'links':>7}"
+        f"{'area mm2':>10}{'power mW':>10}{'feasible':>9}"
+    )
+    for name in ("mesh", "torus", "hypercube", "clos", "butterfly"):
+        ev = evs[name]
+        lines.append(
+            f"{name:<12}{ev.avg_hops:>9.2f}{ev.resources.num_switches:>9}"
+            f"{ev.resources.num_links:>7}{ev.area_mm2:>10.2f}"
+            f"{ev.power_mw:>10.1f}{str(ev.feasible):>9}"
+        )
+    write_artifact("fig6_vopd_characteristics", "\n".join(lines))
+
+    # (a) hop delay shape
+    assert evs["butterfly"].avg_hops == 2.0
+    assert evs["clos"].avg_hops == 3.0
+    for name in ("mesh", "torus", "hypercube"):
+        assert 2.0 <= evs[name].avg_hops < 3.0
+    # (b) resources
+    switch_counts = {n: e.resources.num_switches for n, e in evs.items()}
+    assert switch_counts["butterfly"] == min(switch_counts.values())
+    assert evs["butterfly"].resources.num_links > evs["mesh"].resources.num_links
+    # (c) area: butterfly least
+    areas = {n: e.area_mm2 for n, e in evs.items()}
+    assert areas["butterfly"] == min(areas.values())
+    # (d) power: butterfly least
+    powers = {n: e.power_mw for n, e in evs.items()}
+    assert powers["butterfly"] == min(powers.values())
+    # selection: butterfly is the best topology for VOPD (Section 6.1)
+    assert selection.best_name.startswith("butterfly")

@@ -1,0 +1,64 @@
+"""Experiment fig7b — Figure 7(b): MPEG4 mappings.
+
+Paper: every topology violates bandwidth under minimum-path routing
+(SDRAM flows exceed 500 MB/s), so split-traffic routing is applied; the
+butterfly — with no path diversity — has **no feasible mapping**; the
+torus has slightly lower hop delay but the mesh wins area and power
+(paper values: mesh 2.49 hops / 62.51 mm² / 504.1 mW, torus 2.48 /
+67.05 / 541.4, hypercube 2.47 / 66.03 / 546.7, clos 3.0 / 64.38 /
+445.4).
+"""
+
+from conftest import BENCH_CONFIG, once, write_artifact
+
+from repro.core.mapper import MapperConfig
+from repro.core.selector import select_topology
+
+
+def run_experiment(mpeg4_app):
+    min_path = select_topology(
+        mpeg4_app, routing="MP", objective="hops",
+        config=MapperConfig(converge=False),
+    )
+    split = select_topology(
+        mpeg4_app, routing="SM", objective="hops", config=BENCH_CONFIG
+    )
+    return min_path, split
+
+
+def test_fig7b_mpeg4(benchmark, mpeg4_app):
+    min_path, split = once(benchmark, lambda: run_experiment(mpeg4_app))
+
+    lines = ["-- minimum-path routing --"]
+    for row in min_path.table():
+        lines.append(
+            f"{row['topology']:<20} feasible={row['feasible']} "
+            f"max_load={row['max_link_load_mb_s']}"
+        )
+    lines.append("")
+    lines.append("-- split-traffic routing (SM) --")
+    lines.append(
+        f"{'topology':<20}{'feasible':>9}{'avg hops':>9}{'area mm2':>10}"
+        f"{'power mW':>10}"
+    )
+    for row in split.table():
+        lines.append(
+            f"{row['topology']:<20}{str(row['feasible']):>9}"
+            f"{row['avg_hops']:>9}{row['area_mm2']:>10}{row['power_mw']:>10}"
+        )
+    write_artifact("fig7b_mpeg4", "\n".join(lines))
+
+    # Shape: min-path infeasible on every topology.
+    assert min_path.best is None
+    assert all(not ev.feasible for ev in min_path.evaluations.values())
+    # Split routing: butterfly alone infeasible.
+    evs = {n.split("-")[0]: ev for n, ev in split.evaluations.items()}
+    assert not evs["butterfly"].feasible
+    assert evs["butterfly"].max_link_load >= 910.0
+    for name in ("mesh", "torus", "hypercube", "clos"):
+        assert evs[name].feasible, f"{name} should map MPEG4 under SM"
+    # Mesh wins area and power against torus & hypercube (paper text).
+    assert evs["mesh"].area_mm2 < evs["torus"].area_mm2
+    assert evs["mesh"].area_mm2 < evs["hypercube"].area_mm2
+    assert evs["mesh"].power_mw < evs["torus"].power_mw
+    assert evs["mesh"].power_mw < evs["hypercube"].power_mw

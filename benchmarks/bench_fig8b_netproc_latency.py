@@ -1,0 +1,74 @@
+"""Experiment fig8b — Figure 8(b): network processor latency curves.
+
+Average packet latency versus injection rate (0.1-0.5 flits/cycle) for
+the 16-node network processor, each topology driven by its adversarial
+traffic pattern (Section 6.2). Paper shape: "the clos clearly
+outperforms other topologies" — lowest latency / latest saturation;
+the diversity-free butterfly collapses first.
+"""
+
+from conftest import once, write_artifact
+
+from repro.simulation.network import SimConfig
+from repro.simulation.stats import latency_vs_injection
+from repro.simulation.traffic import adversarial_pattern
+from repro.topology.library import make_topology
+
+RATES = [0.1, 0.2, 0.3, 0.4, 0.5]
+TOPOLOGIES = ("mesh", "torus", "hypercube", "clos", "butterfly")
+
+
+def run_experiment():
+    curves = {}
+    for name in TOPOLOGIES:
+        topo = make_topology(name, 16)
+        pattern = adversarial_pattern(topo)
+        reports = latency_vs_injection(
+            topo,
+            RATES,
+            pattern=pattern,
+            config=SimConfig(seed=1),
+            warmup=500,
+            measure=2500,
+            drain=2000,
+            active_slots=list(range(16)),
+        )
+        curves[name] = (pattern, reports)
+    return curves
+
+
+def test_fig8b_netproc_latency_curves(benchmark):
+    curves = once(benchmark, run_experiment)
+
+    lines = [
+        f"{'topology':<12}{'pattern':<16}"
+        + "".join(f"r={r:<7}" for r in RATES)
+    ]
+    for name, (pattern, reports) in curves.items():
+        cells = []
+        for rep in reports:
+            mark = "*" if rep.saturated() else ""
+            cells.append(f"{rep.avg_latency:7.1f}{mark:1}")
+        lines.append(f"{name:<12}{pattern:<16}" + " ".join(cells))
+    lines.append("(* = saturated: <90% of measured packets delivered)")
+    write_artifact("fig8b_netproc_latency", "\n".join(lines))
+
+    def latency_at(name, rate_idx):
+        rep = curves[name][1][rate_idx]
+        return rep.avg_latency if not rep.saturated() else float("inf")
+
+    # Clos outperforms every other topology at the highest rates.
+    for idx in (3, 4):  # 0.4 and 0.5 flits/cycle
+        clos = latency_at("clos", idx)
+        assert clos < float("inf"), "clos must not saturate"
+        for name in TOPOLOGIES:
+            if name != "clos":
+                assert clos <= latency_at(name, idx) + 1e-9
+    # Latency grows with injection rate for every topology.
+    for name in TOPOLOGIES:
+        reports = curves[name][1]
+        assert reports[-1].avg_latency >= reports[0].avg_latency
+    # The butterfly saturates within the swept range (no path diversity).
+    assert curves["butterfly"][1][-1].saturated() or latency_at(
+        "butterfly", 4
+    ) > 10 * latency_at("clos", 4)

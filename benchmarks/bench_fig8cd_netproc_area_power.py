@@ -1,0 +1,57 @@
+"""Experiment fig8cd — Figures 8(c)/8(d): network processor area/power.
+
+Mappings are produced "by relaxing the bandwidth constraints" (Section
+6.2) with split routing. Paper shape: the Clos's area and power are
+"only slightly higher than the butterfly topology", with the direct
+16-switch topologies costlier on power.
+"""
+
+from conftest import BENCH_CONFIG, once, write_artifact
+
+from repro.core.constraints import Constraints
+from repro.core.selector import select_topology
+
+
+def run_experiment(netproc_app):
+    return select_topology(
+        netproc_app,
+        routing="SM",
+        objective="hops",
+        constraints=Constraints().relaxed(),
+        config=BENCH_CONFIG,
+    )
+
+
+def test_fig8cd_netproc_area_power(benchmark, netproc_app):
+    selection = once(benchmark, lambda: run_experiment(netproc_app))
+    evs = {n.split("-")[0]: ev for n, ev in selection.evaluations.items()}
+
+    lines = [
+        f"{'topology':<12}{'area mm2':>10}{'power mW':>10}"
+        f"{'switches':>9}{'avg hops':>9}"
+    ]
+    for name in ("mesh", "torus", "hypercube", "clos", "butterfly"):
+        ev = evs[name]
+        lines.append(
+            f"{name:<12}{ev.area_mm2:>10.2f}{ev.power_mw:>10.1f}"
+            f"{ev.resources.num_switches:>9}{ev.avg_hops:>9.2f}"
+        )
+    write_artifact("fig8cd_netproc_area_power", "\n".join(lines))
+
+    # All five topologies produce mappings under relaxed bandwidth.
+    assert len(evs) == 5
+    # Butterfly is the cheapest network; the Clos — the latency winner of
+    # Fig. 8(b) — costs "only slightly higher" (paper's justification for
+    # using it in network processors).
+    assert evs["butterfly"].area_mm2 == min(e.area_mm2 for e in evs.values())
+    assert evs["butterfly"].power_mw == min(e.power_mw for e in evs.values())
+    assert evs["clos"].area_mm2 <= 1.25 * evs["butterfly"].area_mm2
+    assert evs["clos"].power_mw <= 1.5 * evs["butterfly"].power_mw
+    # Clos needs fewer, smaller switches than the per-node-switch
+    # topologies (12 4x4 switches versus 16 up-to-5x5 ones).
+    for name in ("mesh", "torus", "hypercube"):
+        assert (
+            evs["clos"].resources.num_switches
+            < evs[name].resources.num_switches
+        )
+        assert evs["clos"].area_mm2 < evs[name].area_mm2

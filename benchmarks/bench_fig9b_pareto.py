@@ -1,0 +1,42 @@
+"""Experiment fig9b — Figure 9(b): area-power Pareto points.
+
+The swap phase's evaluated mappings of MPEG4 on the mesh span an
+area-power plane; the Pareto frontier is "the set of Pareto points for
+the mappings from which the optimum design point can be chosen".
+Expected shape: a non-trivial frontier (multiple non-dominated points)
+inside the explored cloud.
+"""
+
+from conftest import BENCH_CONFIG, once, write_artifact
+
+from repro.core.exploration import area_power_exploration
+from repro.topology.library import make_topology
+
+
+def run_experiment(mpeg4_app):
+    topo = make_topology("mesh", mpeg4_app.num_cores)
+    return area_power_exploration(
+        mpeg4_app, topo, routing="SM", config=BENCH_CONFIG
+    )
+
+
+def test_fig9b_area_power_pareto(benchmark, mpeg4_app):
+    points, front = once(benchmark, lambda: run_experiment(mpeg4_app))
+
+    lines = [f"explored feasible mappings: {len(points)}"]
+    lines.append(f"Pareto-optimal points: {len(front)}")
+    lines.append(f"{'area mm2':>10}{'power mW':>10}{'avg hops':>10}")
+    for p in front:
+        lines.append(
+            f"{p.area_mm2:>10.2f}{p.power_mw:>10.1f}{p.avg_hops:>10.2f}"
+        )
+    write_artifact("fig9b_pareto", "\n".join(lines))
+
+    assert len(points) >= 10, "swap exploration should visit many mappings"
+    assert front, "frontier must not be empty"
+    assert set(front) <= set(points)
+    # The cloud is non-degenerate: dominated points exist.
+    assert len(front) < len(points)
+    # No frontier point is dominated.
+    for f in front:
+        assert not any(p.dominates(f) for p in points)

@@ -1,0 +1,56 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md §4), prints the reproduced rows, asserts the paper's *shape*
+(who wins, rough factors) and archives the artifact under
+``benchmarks/out/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.apps import dsp_filter, mpeg4, network_processor, vopd
+from repro.core.mapper import MapperConfig
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Search configuration used by all experiment benches (the converging
+#: swap search; the paper-faithful single pass is measured separately in
+#: bench_ablation_swap).
+BENCH_CONFIG = MapperConfig(converge=True, max_rounds=10)
+
+
+def write_artifact(name: str, text: str) -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text, encoding="utf-8")
+    print(f"\n[{name}]\n{text}")
+    return path
+
+
+@pytest.fixture(scope="session")
+def vopd_app():
+    return vopd()
+
+
+@pytest.fixture(scope="session")
+def mpeg4_app():
+    return mpeg4()
+
+
+@pytest.fixture(scope="session")
+def dsp_app():
+    return dsp_filter()
+
+
+@pytest.fixture(scope="session")
+def netproc_app():
+    return network_processor()
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

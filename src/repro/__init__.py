@@ -1,0 +1,106 @@
+"""Reproduction of SUNMAP (Murali & De Micheli, DAC 2004).
+
+A tool for automatic NoC topology selection and generation: core-graph
+mapping onto a topology library (mesh, torus, hypercube, Clos, butterfly
+and extensions) under four routing functions, with floorplan-backed area
+and power models, bandwidth/area feasibility checks, a cycle-accurate
+wormhole simulator, and xpipes-style SystemC generation.
+
+Quick start::
+
+    from repro import vopd, run_sunmap
+    report = run_sunmap(vopd(), routing="MP", objective="hops")
+    print(report.summary())
+"""
+
+from repro.apps import (
+    APPLICATIONS,
+    dsp_filter,
+    load_application,
+    mpeg4,
+    network_processor,
+    vopd,
+)
+from repro.core import (
+    Constraints,
+    CoreGraph,
+    MapperConfig,
+    MappingEvaluation,
+    SelectionResult,
+    evaluate_mapping,
+    map_onto,
+    select_topology,
+)
+from repro.errors import (
+    FloorplanError,
+    GenerationError,
+    MappingInfeasibleError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+    UnsupportedRoutingError,
+)
+from repro.io import (
+    core_graph_from_dict,
+    core_graph_to_dict,
+    load_core_graph,
+    save_core_graph,
+    save_selection,
+    selection_to_dict,
+)
+from repro.report import (
+    render_floorplan,
+    render_mapping,
+    selection_to_markdown,
+)
+from repro.sunmap import SunmapReport, run_sunmap
+from repro.topology import (
+    CustomTopology,
+    Topology,
+    extended_library,
+    make_topology,
+    standard_library,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CoreGraph",
+    "Constraints",
+    "MapperConfig",
+    "MappingEvaluation",
+    "SelectionResult",
+    "map_onto",
+    "evaluate_mapping",
+    "select_topology",
+    "run_sunmap",
+    "SunmapReport",
+    "Topology",
+    "CustomTopology",
+    "make_topology",
+    "standard_library",
+    "extended_library",
+    "core_graph_to_dict",
+    "core_graph_from_dict",
+    "save_core_graph",
+    "load_core_graph",
+    "selection_to_dict",
+    "save_selection",
+    "render_floorplan",
+    "render_mapping",
+    "selection_to_markdown",
+    "vopd",
+    "mpeg4",
+    "dsp_filter",
+    "network_processor",
+    "load_application",
+    "APPLICATIONS",
+    "ReproError",
+    "TopologyError",
+    "UnsupportedRoutingError",
+    "MappingInfeasibleError",
+    "FloorplanError",
+    "SimulationError",
+    "GenerationError",
+]

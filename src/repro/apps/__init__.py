@@ -1,0 +1,54 @@
+"""Benchmark applications of the paper plus synthetic generators."""
+
+from repro.apps.dsp import DSP_CORES, DSP_FLOWS, dsp_filter
+from repro.apps.mpeg4 import MPEG4_CORES, MPEG4_FLOWS, mpeg4
+from repro.apps.netproc import (
+    NETPROC_NODES,
+    NETPROC_PATTERN,
+    network_processor,
+)
+from repro.apps.synthetic import (
+    hotspot_core_graph,
+    pipeline_core_graph,
+    random_core_graph,
+)
+from repro.apps.vopd import VOPD_CORES, VOPD_FLOWS, vopd
+
+#: Registry used by the CLI and examples.
+APPLICATIONS = {
+    "vopd": vopd,
+    "mpeg4": mpeg4,
+    "dsp": dsp_filter,
+    "netproc": network_processor,
+}
+
+
+def load_application(name: str):
+    """Instantiate a named benchmark application."""
+    try:
+        return APPLICATIONS[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; available: {sorted(APPLICATIONS)}"
+        ) from None
+
+
+__all__ = [
+    "vopd",
+    "mpeg4",
+    "dsp_filter",
+    "network_processor",
+    "random_core_graph",
+    "pipeline_core_graph",
+    "hotspot_core_graph",
+    "APPLICATIONS",
+    "load_application",
+    "VOPD_CORES",
+    "VOPD_FLOWS",
+    "MPEG4_CORES",
+    "MPEG4_FLOWS",
+    "DSP_CORES",
+    "DSP_FLOWS",
+    "NETPROC_NODES",
+    "NETPROC_PATTERN",
+]

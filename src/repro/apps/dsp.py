@@ -1,0 +1,43 @@
+"""DSP filter application (Figure 10(a), Section 6.4).
+
+Six cores — ARM, Memory, Display, FFT, IFFT, Filter — with the figure's
+bandwidth annotations: six 200 MB/s flows and the two 600 MB/s
+FFT->Filter->IFFT stream links. SUNMAP maps this design onto a 3-ary
+2-fly butterfly (3x3 switches, Figure 10(b)) and the paper's SystemC
+simulation confirms the butterfly's latency win (Figure 10(c)).
+"""
+
+from __future__ import annotations
+
+from repro.core.coregraph import CoreGraph
+
+DSP_CORES = (
+    ("arm", 4.0),
+    ("memory", 5.0),
+    ("display", 3.0),
+    ("fft", 3.5),
+    ("ifft", 3.5),
+    ("filter", 3.0),
+)
+
+DSP_FLOWS = (
+    ("arm", "memory", 200.0),
+    ("memory", "arm", 200.0),
+    ("arm", "fft", 200.0),
+    ("fft", "filter", 600.0),
+    ("filter", "ifft", 600.0),
+    ("ifft", "memory", 200.0),
+    ("memory", "display", 200.0),
+    ("arm", "display", 200.0),
+)
+
+
+def dsp_filter() -> CoreGraph:
+    """The 6-core DSP filter benchmark."""
+    graph = CoreGraph("dsp-filter")
+    for name, area in DSP_CORES:
+        graph.add_core(name, area_mm2=area)
+    for src, dst, bandwidth in DSP_FLOWS:
+        graph.add_flow(src, dst, bandwidth)
+    graph.validate()
+    return graph

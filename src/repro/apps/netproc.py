@@ -1,0 +1,37 @@
+"""16-node network processor (Section 6.2; node architecture from [6]).
+
+Each node packages a request generator, scheduler, processor, memory and
+arbiter behind one network port (Figure 8(a)); the communication goal is
+low contention for large data flows between nodes. The paper does not
+tabulate the traffic, so we synthesize the paper-described behaviour: a
+deterministic all-around pattern in which every node sources three large
+flows at increasing distance (ring neighbour, quarter-ring, opposite
+node). Mapping experiments relax the bandwidth constraints, as the paper
+does, and the latency evaluation (Figure 8(b)) uses the cycle-accurate
+simulator with adversarial traffic instead of this static graph.
+"""
+
+from __future__ import annotations
+
+from repro.core.coregraph import CoreGraph
+
+#: Number of processing nodes.
+NETPROC_NODES = 16
+
+#: (node offset, MB/s) of the flows every node sources.
+NETPROC_PATTERN = ((1, 400.0), (4, 300.0), (8, 200.0))
+
+#: Area of one node (proc + mem + scheduler + arbiter), mm^2.
+NETPROC_NODE_AREA = 4.0
+
+
+def network_processor() -> CoreGraph:
+    """The 16-node network-processor benchmark."""
+    graph = CoreGraph("netproc")
+    for i in range(NETPROC_NODES):
+        graph.add_core(f"node{i:02d}", area_mm2=NETPROC_NODE_AREA)
+    for i in range(NETPROC_NODES):
+        for offset, bandwidth in NETPROC_PATTERN:
+            graph.add_flow(i, (i + offset) % NETPROC_NODES, bandwidth)
+    graph.validate()
+    return graph

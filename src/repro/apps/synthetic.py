@@ -1,0 +1,80 @@
+"""Synthetic core-graph generation for tests and scaling studies."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.coregraph import CoreGraph
+
+
+def random_core_graph(
+    n_cores: int,
+    n_flows: int | None = None,
+    seed: int = 0,
+    bandwidth_range: tuple[float, float] = (10.0, 500.0),
+    area_range: tuple[float, float] = (1.0, 6.0),
+    connected: bool = True,
+    name: str | None = None,
+) -> CoreGraph:
+    """A reproducible random application.
+
+    Args:
+        n_flows: number of directed flows; defaults to ``2 * n_cores``.
+        connected: chain all cores first so the graph is weakly
+            connected (a realistic pipeline backbone), then add random
+            extra flows.
+    """
+    if n_cores < 2:
+        raise ValueError("need at least 2 cores")
+    rng = random.Random(seed)
+    if n_flows is None:
+        n_flows = 2 * n_cores
+    graph = CoreGraph(name or f"synthetic-{n_cores}c-{seed}")
+    for i in range(n_cores):
+        graph.add_core(
+            f"core{i:02d}", area_mm2=rng.uniform(*area_range)
+        )
+    existing: set[tuple[int, int]] = set()
+    if connected:
+        for i in range(n_cores - 1):
+            graph.add_flow(i, i + 1, rng.uniform(*bandwidth_range))
+            existing.add((i, i + 1))
+    attempts = 0
+    while len(existing) < n_flows and attempts < 50 * n_flows:
+        attempts += 1
+        src = rng.randrange(n_cores)
+        dst = rng.randrange(n_cores)
+        if src == dst or (src, dst) in existing:
+            continue
+        graph.add_flow(src, dst, rng.uniform(*bandwidth_range))
+        existing.add((src, dst))
+    graph.validate()
+    return graph
+
+
+def pipeline_core_graph(
+    n_cores: int, bandwidth: float = 300.0, name: str | None = None
+) -> CoreGraph:
+    """A pure pipeline (chain) application — best-case for any topology."""
+    graph = CoreGraph(name or f"pipeline-{n_cores}")
+    for i in range(n_cores):
+        graph.add_core(f"stage{i:02d}", area_mm2=3.0)
+    for i in range(n_cores - 1):
+        graph.add_flow(i, i + 1, bandwidth)
+    return graph
+
+
+def hotspot_core_graph(
+    n_cores: int,
+    hotspot_bandwidth: float = 600.0,
+    side_bandwidth: float = 50.0,
+    name: str | None = None,
+) -> CoreGraph:
+    """All cores talk to core 0 (a shared-memory-style hotspot)."""
+    graph = CoreGraph(name or f"hotspot-{n_cores}")
+    for i in range(n_cores):
+        graph.add_core(f"core{i:02d}", area_mm2=3.0)
+    for i in range(1, n_cores):
+        graph.add_flow(i, 0, hotspot_bandwidth / (n_cores - 1))
+        graph.add_flow(0, i, side_bandwidth)
+    return graph

@@ -1,0 +1,321 @@
+"""Command-line interface: ``sunmap <command>``.
+
+Commands mirror the tool's phases and the paper's experiments:
+
+* ``apps`` / ``topologies`` / ``library`` — inventory listings;
+* ``map`` — map one application onto one topology;
+* ``select`` — full phase-1/2 topology selection (Figures 6, 7(b));
+* ``explore`` — routing-function bandwidth sweep + Pareto points
+  (Figure 9);
+* ``simulate`` — cycle-accurate latency measurement (Figures 8(b),
+  10(c));
+* ``generate`` — phase-3 SystemC generation (Figure 11).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import APPLICATIONS, load_application
+from repro.core.constraints import Constraints
+from repro.core.exploration import (
+    area_power_exploration,
+    minimum_bandwidth_per_routing,
+)
+from repro.core.mapper import MapperConfig, map_onto
+from repro.core.selector import select_topology
+from repro.errors import ReproError
+from repro.physical.library import AreaPowerLibrary
+from repro.simulation.stats import run_measurement
+from repro.simulation.traffic import (
+    PATTERNS,
+    SyntheticTraffic,
+    adversarial_pattern,
+)
+from repro.sunmap import run_sunmap
+from repro.topology.library import (
+    available_topologies,
+    make_topology,
+    standard_library,
+)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--app", choices=sorted(APPLICATIONS), help="built-in application"
+    )
+    parser.add_argument(
+        "--app-file", default=None,
+        help="JSON core-graph file (see repro.io schema)",
+    )
+    parser.add_argument(
+        "--routing", default="MP", choices=["DO", "MP", "SM", "SA"],
+        help="routing function (paper codes)",
+    )
+    parser.add_argument(
+        "--objective", default="hops",
+        choices=["hops", "area", "power", "bandwidth"],
+        help="mapping objective",
+    )
+    parser.add_argument(
+        "--capacity", type=float, default=500.0,
+        help="link capacity in MB/s (paper default 500)",
+    )
+
+
+def _constraints(args) -> Constraints:
+    return Constraints(link_capacity_mb_s=args.capacity)
+
+
+def _load_app(args):
+    if getattr(args, "app_file", None):
+        from repro.io import load_core_graph
+
+        return load_core_graph(args.app_file)
+    if args.app:
+        return load_application(args.app)
+    raise ReproError("provide --app or --app-file")
+
+
+def cmd_apps(_args) -> int:
+    for name in sorted(APPLICATIONS):
+        app = load_application(name)
+        print(
+            f"{name:10s} cores={app.num_cores:3d} flows={app.num_flows:3d} "
+            f"total={app.total_bandwidth():8.1f} MB/s"
+        )
+    return 0
+
+
+def cmd_topologies(args) -> int:
+    for name in available_topologies():
+        try:
+            topo = make_topology(name, args.cores)
+        except ReproError as exc:
+            print(f"{name:12s} (not available for {args.cores} cores: {exc})")
+            continue
+        rs = topo.resource_summary()
+        print(
+            f"{name:12s} {topo.name:22s} slots={topo.num_slots:3d} "
+            f"switches={rs.num_switches:3d} links={rs.num_links:3d}"
+        )
+    return 0
+
+
+def cmd_library(args) -> int:
+    library = AreaPowerLibrary()
+    print(f"{'config':>8} {'area mm2':>10} {'pJ/bit':>8} {'static mW':>10}")
+    for entry in library.table(max_radix=args.max_radix):
+        cfg = entry.config
+        print(
+            f"{cfg.n_in}x{cfg.n_out:>6} {entry.area_mm2:>10.4f} "
+            f"{entry.energy_pj_per_bit:>8.3f} {entry.static_power_mw:>10.2f}"
+        )
+    return 0
+
+
+def cmd_map(args) -> int:
+    app = _load_app(args)
+    topology = make_topology(args.topology, app.num_cores)
+    evaluation = map_onto(
+        app,
+        topology,
+        routing=args.routing,
+        objective=args.objective,
+        constraints=_constraints(args),
+    )
+    row = evaluation.summary_row()
+    for key, value in row.items():
+        print(f"{key:22s} {value}")
+    print("assignment:")
+    for core_index, slot in sorted(evaluation.assignment.items()):
+        print(f"  {app.core(core_index).name:14s} -> slot {slot}")
+    return 0
+
+
+def cmd_select(args) -> int:
+    app = _load_app(args)
+    if args.fallback:
+        report = run_sunmap(
+            app,
+            routing=args.routing,
+            objective=args.objective,
+            constraints=_constraints(args),
+            generate=False,
+        )
+        print(report.summary())
+        return 0
+    selection = select_topology(
+        app,
+        routing=args.routing,
+        objective=args.objective,
+        constraints=_constraints(args),
+    )
+    if args.markdown:
+        from repro.report import selection_to_markdown
+
+        print(selection_to_markdown(selection))
+    else:
+        print(selection.format_table())
+    print(f"best: {selection.best_name or 'NO FEASIBLE TOPOLOGY'}")
+    if args.save:
+        from repro.io import save_selection
+
+        save_selection(selection, args.save)
+        print(f"selection saved to {args.save}")
+    return 0
+
+
+def cmd_explore(args) -> int:
+    app = _load_app(args)
+    topology = make_topology(args.topology, app.num_cores)
+    print(f"minimum link bandwidth per routing function on {topology.name}:")
+    sweep = minimum_bandwidth_per_routing(app, topology)
+    for code, value in sweep.items():
+        text = "unsupported" if value is None else f"{value:8.1f} MB/s"
+        print(f"  {code}: {text}")
+    points, front = area_power_exploration(
+        app, topology, routing=args.routing, constraints=_constraints(args)
+    )
+    print(f"area-power exploration: {len(points)} feasible mappings, "
+          f"{len(front)} Pareto points:")
+    for p in front:
+        print(f"  area {p.area_mm2:7.2f} mm2   power {p.power_mw:7.1f} mW")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    app = load_application(args.app)
+    topology = make_topology(args.topology, app.num_cores)
+    pattern = args.pattern
+    if pattern == "adversarial":
+        pattern = adversarial_pattern(topology)
+    slots = list(range(min(app.num_cores, topology.num_slots)))
+    report = run_measurement(
+        topology,
+        SyntheticTraffic(pattern, args.rate),
+        warmup=args.warmup,
+        measure=args.cycles,
+        drain=args.drain,
+        active_slots=slots,
+        offered_rate=args.rate,
+    )
+    print(
+        f"{topology.name} pattern={pattern} rate={args.rate}: "
+        f"avg latency {report.avg_latency:.1f} cy, "
+        f"p95 {report.p95_latency:.1f} cy, "
+        f"delivered {report.delivered_fraction * 100:.1f}%"
+    )
+    return 0
+
+
+def cmd_generate(args) -> int:
+    app = _load_app(args)
+    topologies = None
+    if args.topology:
+        topologies = [make_topology(args.topology, app.num_cores)]
+    report = run_sunmap(
+        app,
+        routing=args.routing,
+        objective=args.objective,
+        constraints=_constraints(args),
+        topologies=topologies,
+    )
+    print(report.summary())
+    if args.output and report.systemc is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report.systemc)
+        print(f"SystemC written to {args.output}")
+    elif report.systemc is not None:
+        print(report.systemc)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sunmap",
+        description="SUNMAP reproduction: NoC topology selection & generation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list benchmark applications")
+
+    p = sub.add_parser("topologies", help="list library topologies")
+    p.add_argument("--cores", type=int, default=12)
+
+    p = sub.add_parser("library", help="print the switch area/power library")
+    p.add_argument("--max-radix", type=int, default=8)
+
+    p = sub.add_parser("map", help="map one application onto one topology")
+    _add_common(p)
+    p.add_argument("--topology", required=True)
+
+    p = sub.add_parser("select", help="full topology selection")
+    _add_common(p)
+    p.add_argument(
+        "--fallback", action="store_true",
+        help="escalate to split routing when nothing is feasible",
+    )
+    p.add_argument(
+        "--markdown", action="store_true",
+        help="print the comparison table as markdown",
+    )
+    p.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="write the selection outcome as JSON",
+    )
+
+    p = sub.add_parser("explore", help="routing sweep + Pareto exploration")
+    _add_common(p)
+    p.add_argument("--topology", required=True)
+
+    p = sub.add_parser("simulate", help="cycle-accurate latency measurement")
+    p.add_argument("--app", required=True, choices=sorted(APPLICATIONS))
+    p.add_argument("--topology", required=True)
+    p.add_argument("--rate", type=float, default=0.2)
+    p.add_argument(
+        "--pattern", default="adversarial",
+        choices=sorted(PATTERNS) + ["adversarial"],
+    )
+    p.add_argument("--cycles", type=int, default=5000)
+    p.add_argument("--warmup", type=int, default=1000)
+    p.add_argument("--drain", type=int, default=3000)
+
+    p = sub.add_parser("generate", help="select and emit SystemC")
+    _add_common(p)
+    p.add_argument("--topology", default=None)
+    p.add_argument("--output", "-o", default=None)
+    return parser
+
+
+_COMMANDS = {
+    "apps": cmd_apps,
+    "topologies": cmd_topologies,
+    "library": cmd_library,
+    "map": cmd_map,
+    "select": cmd_select,
+    "explore": cmd_explore,
+    "simulate": cmd_simulate,
+    "generate": cmd_generate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

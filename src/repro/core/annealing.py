@@ -1,0 +1,190 @@
+"""Alternative mapping optimizers: simulated annealing and random search.
+
+The paper's mapping engine is greedy seeding + pairwise-swap descent
+(Figure 5). These optimizers explore the same search space with
+different strategies, serving two purposes:
+
+* a **baseline** (uniform random search) that quantifies how much the
+  structured search buys;
+* a **stronger optimizer** (simulated annealing over slot swaps) that
+  bounds how far from optimal the paper's algorithm lands.
+
+``bench_ablation_optimizers`` compares all of them. Both optimizers are
+fully deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.constraints import Constraints
+from repro.core.coregraph import CoreGraph
+from repro.core.evaluate import MappingEvaluation, evaluate_mapping
+from repro.core.greedy import initial_greedy_mapping
+from repro.core.mapper import _resolve, _score
+from repro.physical.estimate import NetworkEstimator
+from repro.topology.base import Topology
+
+#: Penalty offset making any infeasible mapping worse than any feasible
+#: one when scalarizing (costs in this library stay far below this).
+_INFEASIBLE_OFFSET = 1e9
+
+
+def _scalar(evaluation: MappingEvaluation) -> float:
+    """Scalarized sort key for acceptance tests."""
+    if evaluation.feasible:
+        return evaluation.cost
+    return (
+        _INFEASIBLE_OFFSET
+        + 1e3 * len(evaluation.qos_violations)
+        + evaluation.overflow_mb_s
+        + evaluation.max_link_load
+    )
+
+
+@dataclass
+class AnnealingConfig:
+    """Simulated-annealing schedule."""
+
+    iterations: int = 1500
+    initial_temperature: float | None = None  # None = auto-calibrated
+    cooling: float = 0.997
+    seed: int = 0
+    floorplan_each_step: bool = False
+
+    def __post_init__(self):
+        if self.iterations < 1:
+            raise ValueError("iterations must be positive")
+        if not 0.5 < self.cooling < 1.0:
+            raise ValueError("cooling must be in (0.5, 1)")
+
+
+def _random_swap(assignment: dict, num_slots: int, rng: random.Random) -> dict:
+    """Swap two slots (possibly moving a core into a free slot)."""
+    cores = list(assignment)
+    slot_to_core = {s: c for c, s in assignment.items()}
+    candidate = dict(assignment)
+    c1 = rng.choice(cores)
+    s1 = assignment[c1]
+    s2 = rng.randrange(num_slots)
+    if s1 == s2:
+        return candidate
+    c2 = slot_to_core.get(s2)
+    candidate[c1] = s2
+    if c2 is not None:
+        candidate[c2] = s1
+    return candidate
+
+
+def simulated_annealing_map(
+    core_graph: CoreGraph,
+    topology: Topology,
+    routing="MP",
+    objective="hops",
+    constraints: Constraints | None = None,
+    estimator: NetworkEstimator | None = None,
+    config: AnnealingConfig | None = None,
+    initial_assignment: dict | None = None,
+) -> MappingEvaluation:
+    """Anneal over slot-swap moves.
+
+    Args:
+        initial_assignment: starting point; defaults to the greedy seed.
+            Passing the swap search's result turns annealing into a
+            refinement pass (the returned mapping is never worse than
+            the starting one).
+    """
+    routing, objective = _resolve(routing, objective)
+    constraints = constraints or Constraints()
+    estimator = estimator or NetworkEstimator()
+    config = config or AnnealingConfig()
+    rng = random.Random(config.seed)
+    with_floorplan = config.floorplan_each_step or objective.needs_floorplan
+
+    def run(assignment):
+        ev = evaluate_mapping(
+            core_graph, topology, assignment, routing, constraints,
+            estimator=estimator, with_floorplan=with_floorplan,
+        )
+        return _score(ev, objective)
+
+    if initial_assignment is None:
+        initial_assignment = initial_greedy_mapping(core_graph, topology)
+    current = run(dict(initial_assignment))
+    best = current
+
+    temperature = config.initial_temperature
+    if temperature is None:
+        # Calibrate from the move landscape, not the scalar magnitude
+        # (the infeasibility offset would otherwise make T astronomical):
+        # probe a handful of random swaps and set T0 to the mean |delta|,
+        # giving roughly 40-60% initial acceptance of uphill moves.
+        base = _scalar(current)
+        deltas = []
+        for _ in range(15):
+            probe = _random_swap(current.assignment, topology.num_slots, rng)
+            if probe == current.assignment:
+                continue
+            deltas.append(abs(_scalar(run(probe)) - base))
+        meaningful = [d for d in deltas if 0 < d < _INFEASIBLE_OFFSET / 2]
+        temperature = max(1e-6, sum(meaningful) / len(meaningful)) if (
+            meaningful
+        ) else 1.0
+
+    for _ in range(config.iterations):
+        candidate_assignment = _random_swap(
+            current.assignment, topology.num_slots, rng
+        )
+        if candidate_assignment == current.assignment:
+            continue
+        candidate = run(candidate_assignment)
+        delta = _scalar(candidate) - _scalar(current)
+        if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+            current = candidate
+            if _scalar(current) < _scalar(best):
+                best = current
+        temperature *= config.cooling
+
+    final = evaluate_mapping(
+        core_graph, topology, best.assignment, routing, constraints,
+        estimator=estimator, with_floorplan=True,
+    )
+    return _score(final, objective)
+
+
+def random_search_map(
+    core_graph: CoreGraph,
+    topology: Topology,
+    routing="MP",
+    objective="hops",
+    constraints: Constraints | None = None,
+    estimator: NetworkEstimator | None = None,
+    iterations: int = 1500,
+    seed: int = 0,
+) -> MappingEvaluation:
+    """Uniform random assignments — the unstructured baseline."""
+    routing, objective = _resolve(routing, objective)
+    constraints = constraints or Constraints()
+    estimator = estimator or NetworkEstimator()
+    rng = random.Random(seed)
+    slots = list(range(topology.num_slots))
+    n = core_graph.num_cores
+
+    best: MappingEvaluation | None = None
+    for _ in range(iterations):
+        chosen = rng.sample(slots, n)
+        assignment = {core: slot for core, slot in zip(range(n), chosen)}
+        ev = evaluate_mapping(
+            core_graph, topology, assignment, routing, constraints,
+            estimator=estimator, with_floorplan=False,
+        )
+        _score(ev, objective)
+        if best is None or _scalar(ev) < _scalar(best):
+            best = ev
+    final = evaluate_mapping(
+        core_graph, topology, best.assignment, routing, constraints,
+        estimator=estimator, with_floorplan=True,
+    )
+    return _score(final, objective)

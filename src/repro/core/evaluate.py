@@ -1,0 +1,203 @@
+"""Single-mapping evaluation (Figure 5, steps 2-8).
+
+Given an assignment of cores to slots, this module routes all commodities
+in decreasing order, checks bandwidth feasibility, optionally floorplans
+the design, and derives the three report metrics of the paper's tables:
+average hop delay, design area and design power.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.constraints import (
+    Constraints,
+    area_feasible,
+    bandwidth_feasible,
+    bandwidth_overflow,
+    qos_feasible,
+)
+from repro.core.coregraph import CoreGraph
+from repro.errors import FloorplanError, MappingInfeasibleError
+from repro.floorplan.lp import FloorplanResult, floorplan_mapping
+from repro.physical.estimate import NetworkEstimator, PowerBreakdown
+from repro.routing.base import RoutingFunction, RoutingResult
+from repro.topology.base import ResourceSummary, Topology
+
+
+def nominal_pitch_mm(core_graph: CoreGraph) -> float:
+    """Tile pitch estimate when no floorplan is available: the side of an
+    average core block."""
+    if core_graph.num_cores == 0:
+        return 1.0
+    return math.sqrt(core_graph.total_core_area() / core_graph.num_cores)
+
+
+@dataclass
+class MappingEvaluation:
+    """Everything known about one evaluated mapping."""
+
+    core_graph: CoreGraph
+    topology: Topology
+    routing_code: str
+    assignment: dict[int, int]
+
+    routing_result: RoutingResult
+    avg_hops: float
+    max_link_load: float
+    bandwidth_feasible: bool
+    overflow_mb_s: float = 0.0
+    qos_feasible: bool = True
+    qos_violations: list = field(default_factory=list)
+
+    floorplan: FloorplanResult | None = None
+    area_mm2: float | None = None
+    power: PowerBreakdown | None = None
+    power_mw: float | None = None
+    area_feasible: bool = True
+    resources: ResourceSummary | None = None
+    cost: float = math.inf
+
+    @property
+    def feasible(self) -> bool:
+        return (
+            self.bandwidth_feasible
+            and self.area_feasible
+            and self.qos_feasible
+        )
+
+    def sort_key(self) -> tuple:
+        """Feasible-first, then cost; infeasible mappings compete on how
+        badly they violate constraints (QoS violations, then total
+        bandwidth overflow, then worst link), driving the swap search
+        toward feasibility."""
+        if self.feasible:
+            return (0, 0, self.cost, 0.0)
+        return (
+            1,
+            len(self.qos_violations),
+            self.overflow_mb_s,
+            self.max_link_load,
+        )
+
+    def summary_row(self) -> dict:
+        """Row for the paper-style comparison tables."""
+        return {
+            "topology": self.topology.name,
+            "routing": self.routing_code,
+            "feasible": self.feasible,
+            "avg_hops": round(self.avg_hops, 3),
+            "max_link_load_mb_s": round(self.max_link_load, 1),
+            "area_mm2": None if self.area_mm2 is None else round(self.area_mm2, 2),
+            "power_mw": None if self.power_mw is None else round(self.power_mw, 1),
+            "switches": None if self.resources is None else self.resources.num_switches,
+            "links": None if self.resources is None else self.resources.num_links,
+        }
+
+
+def evaluate_mapping(
+    core_graph: CoreGraph,
+    topology: Topology,
+    assignment: dict[int, int],
+    routing: RoutingFunction,
+    constraints: Constraints,
+    estimator: NetworkEstimator | None = None,
+    with_floorplan: bool = True,
+) -> MappingEvaluation:
+    """Route, check and measure one mapping.
+
+    Args:
+        assignment: core index -> terminal slot; must be injective and
+            cover every core.
+        with_floorplan: run the LP floorplanner (needed for area/power
+            numbers and area feasibility). Disable inside hop-objective
+            swap loops for speed; re-enable for the final report.
+
+    Raises:
+        MappingInfeasibleError: if the assignment is structurally invalid
+            (wrong size, duplicate slots, slot out of range).
+    """
+    _validate_assignment(core_graph, topology, assignment)
+    if estimator is None:
+        estimator = NetworkEstimator()
+
+    commodities = core_graph.commodities()
+    result = routing.route_all(topology, assignment, commodities)
+    bw_ok, max_load = bandwidth_feasible(result, topology, constraints)
+    overflow = 0.0 if bw_ok else bandwidth_overflow(result, topology, constraints)
+    qos_ok, violations = qos_feasible(result, constraints)
+
+    evaluation = MappingEvaluation(
+        core_graph=core_graph,
+        topology=topology,
+        routing_code=routing.code,
+        assignment=dict(assignment),
+        routing_result=result,
+        avg_hops=result.weighted_average_hops(),
+        max_link_load=max_load,
+        bandwidth_feasible=bw_ok,
+        overflow_mb_s=overflow,
+        qos_feasible=qos_ok,
+        qos_violations=violations,
+    )
+
+    pitch = nominal_pitch_mm(core_graph)
+    if with_floorplan:
+        used = estimator.used_switches(topology, result)
+        try:
+            floorplan = floorplan_mapping(
+                topology,
+                assignment,
+                core_graph,
+                used_switches=used,
+                tech=estimator.tech,
+                max_aspect=constraints.max_chip_aspect,
+            )
+        except FloorplanError:
+            floorplan = None
+        evaluation.floorplan = floorplan
+        lengths = (
+            floorplan.link_lengths(topology, assignment)
+            if floorplan is not None
+            else None
+        )
+        channels = estimator.channels_area_mm2(
+            topology, result, lengths_mm=lengths, pitch_mm=pitch
+        )
+        if floorplan is not None:
+            evaluation.area_mm2 = floorplan.area_mm2 + channels
+        evaluation.power = estimator.network_power_mw(
+            topology, result, lengths_mm=lengths, pitch_mm=pitch
+        )
+        evaluation.power_mw = evaluation.power.total_mw
+        evaluation.area_feasible = floorplan is not None and area_feasible(
+            floorplan, evaluation.area_mm2, constraints
+        )
+    else:
+        # Fast mode: power from nominal link lengths, no area numbers.
+        evaluation.power = estimator.network_power_mw(
+            topology, result, lengths_mm=None, pitch_mm=pitch
+        )
+        evaluation.power_mw = evaluation.power.total_mw
+        evaluation.area_feasible = True
+
+    evaluation.resources = topology.resource_summary(
+        routes=result.all_paths(), mapped_slots=list(assignment.values())
+    )
+    return evaluation
+
+
+def _validate_assignment(
+    core_graph: CoreGraph, topology: Topology, assignment: dict[int, int]
+) -> None:
+    if set(assignment) != set(range(core_graph.num_cores)):
+        raise MappingInfeasibleError(
+            "assignment must map every core exactly once"
+        )
+    slots = list(assignment.values())
+    if len(set(slots)) != len(slots):
+        raise MappingInfeasibleError("assignment maps two cores to one slot")
+    for slot in slots:
+        if not 0 <= slot < topology.num_slots:
+            raise MappingInfeasibleError(f"slot {slot} out of range")

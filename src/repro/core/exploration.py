@@ -1,0 +1,127 @@
+"""Design-space exploration of a chosen topology (Section 6.3).
+
+Two explorations the paper demonstrates on MPEG4/mesh:
+
+* the effect of the routing function — the minimum link bandwidth each of
+  DO/MP/SM/SA needs to carry the application (Figure 9(a));
+* the area-power Pareto points over the set of mappings the swap phase
+  evaluates (Figure 9(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constraints import Constraints
+from repro.core.coregraph import CoreGraph
+from repro.core.evaluate import MappingEvaluation
+from repro.core.mapper import MapperConfig, map_onto
+from repro.errors import UnsupportedRoutingError
+from repro.routing.library import ROUTING_CODES
+from repro.topology.base import Topology
+
+
+def minimum_bandwidth_per_routing(
+    core_graph: CoreGraph,
+    topology: Topology,
+    codes: tuple[str, ...] = ROUTING_CODES,
+    config: MapperConfig | None = None,
+) -> dict[str, float | None]:
+    """Minimum feasible link bandwidth per routing function.
+
+    For each routing function the mapper runs with the ``bandwidth``
+    objective (minimize the worst link load) and *relaxed* capacity, so
+    the returned value is the smallest link capacity for which a feasible
+    mapping exists. ``None`` marks an unsupported topology/routing pair.
+    """
+    relaxed = Constraints().relaxed()
+    results: dict[str, float | None] = {}
+    for code in codes:
+        try:
+            evaluation = map_onto(
+                core_graph,
+                topology,
+                routing=code,
+                objective="bandwidth",
+                constraints=relaxed,
+                config=config,
+            )
+        except UnsupportedRoutingError:
+            results[code] = None
+            continue
+        results[code] = evaluation.max_link_load
+    return results
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One evaluated mapping in the area-power plane."""
+
+    area_mm2: float
+    power_mw: float
+    avg_hops: float
+    assignment: tuple
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Smaller-or-equal on both axes, strictly smaller on one."""
+        no_worse = (
+            self.area_mm2 <= other.area_mm2 and self.power_mw <= other.power_mw
+        )
+        better = (
+            self.area_mm2 < other.area_mm2 or self.power_mw < other.power_mw
+        )
+        return no_worse and better
+
+
+def pareto_front(points: list[ParetoPoint]) -> list[ParetoPoint]:
+    """Non-dominated subset, sorted by increasing area."""
+    ordered = sorted(points, key=lambda p: (p.area_mm2, p.power_mw))
+    front: list[ParetoPoint] = []
+    best_power = float("inf")
+    for p in ordered:
+        # Strictly better power than everything wider-or-equal seen so
+        # far; no epsilon — a tolerance here would drop points that are
+        # only quasi-dominated (found by hypothesis).
+        if p.power_mw < best_power:
+            front.append(p)
+            best_power = p.power_mw
+    return front
+
+
+def area_power_exploration(
+    core_graph: CoreGraph,
+    topology: Topology,
+    routing: str = "SM",
+    constraints: Constraints | None = None,
+    config: MapperConfig | None = None,
+) -> tuple[list[ParetoPoint], list[ParetoPoint]]:
+    """All feasible (area, power) mapping points and their Pareto front.
+
+    Runs the mapper with the power objective while collecting every
+    evaluated mapping (the paper's "set of Pareto points for the
+    mappings from which the optimum design point can be chosen").
+    """
+    collected: list[MappingEvaluation] = []
+    map_onto(
+        core_graph,
+        topology,
+        routing=routing,
+        objective="power",
+        constraints=constraints,
+        config=config,
+        collector=collected,
+    )
+    points = [
+        ParetoPoint(
+            area_mm2=ev.area_mm2,
+            power_mw=ev.power_mw,
+            avg_hops=ev.avg_hops,
+            assignment=tuple(sorted(ev.assignment.items())),
+        )
+        for ev in collected
+        if ev.feasible and ev.area_mm2 is not None and ev.power_mw is not None
+    ]
+    # Deduplicate identical assignments (the greedy seed reappears).
+    unique = {p.assignment: p for p in points}
+    points = list(unique.values())
+    return points, pareto_front(points)

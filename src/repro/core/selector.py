@@ -1,0 +1,150 @@
+"""Phase 2: topology selection (Figure 4).
+
+"In the second phase, the various topologies (with mappings produced from
+the first phase) are evaluated for several design objectives and the best
+topology is chosen."
+
+:func:`select_topology` runs the mapper on every topology in the library,
+collects the evaluations into a paper-style comparison table (Figures
+6, 7(b), 8(c,d)), and picks the feasible mapping with the lowest
+objective cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constraints import Constraints
+from repro.core.coregraph import CoreGraph
+from repro.core.evaluate import MappingEvaluation
+from repro.core.mapper import MapperConfig, map_onto
+from repro.core.objectives import make_objective
+from repro.errors import (
+    MappingInfeasibleError,
+    ReproError,
+    UnsupportedRoutingError,
+)
+from repro.physical.estimate import NetworkEstimator
+from repro.topology.base import Topology
+from repro.topology.library import standard_library
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of a library-wide selection run."""
+
+    objective_name: str
+    routing_code: str
+    evaluations: dict[str, MappingEvaluation] = field(default_factory=dict)
+    errors: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> dict[str, MappingEvaluation]:
+        return {
+            name: ev for name, ev in self.evaluations.items() if ev.feasible
+        }
+
+    @property
+    def best_name(self) -> str | None:
+        feasible = self.feasible
+        if not feasible:
+            return None
+        return min(feasible, key=lambda n: (feasible[n].cost, n))
+
+    @property
+    def best(self) -> MappingEvaluation | None:
+        name = self.best_name
+        return None if name is None else self.evaluations[name]
+
+    def table(self) -> list[dict]:
+        """Rows in library order; infeasible entries carry their reason."""
+        rows = []
+        for name, ev in self.evaluations.items():
+            row = ev.summary_row()
+            row["selected"] = name == self.best_name
+            if not ev.feasible:
+                row["note"] = "no feasible mapping"
+            rows.append(row)
+        for name, reason in self.errors.items():
+            rows.append(
+                {
+                    "topology": name,
+                    "routing": self.routing_code,
+                    "feasible": False,
+                    "selected": False,
+                    "note": reason,
+                }
+            )
+        return rows
+
+    def format_table(self) -> str:
+        """Human-readable table (CLI / examples)."""
+        header = (
+            f"{'topology':<22}{'ok':<4}{'avg hops':>9}{'area mm2':>10}"
+            f"{'power mW':>10}{'max load':>10}  note"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.table():
+            mark = "*" if row.get("selected") else ""
+            lines.append(
+                f"{row['topology'] + mark:<22}"
+                f"{'y' if row['feasible'] else 'n':<4}"
+                f"{_fmt(row.get('avg_hops')):>9}"
+                f"{_fmt(row.get('area_mm2')):>10}"
+                f"{_fmt(row.get('power_mw')):>10}"
+                f"{_fmt(row.get('max_link_load_mb_s')):>10}"
+                f"  {row.get('note', '')}"
+            )
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.2f}" if isinstance(value, float) else str(value)
+
+
+def select_topology(
+    core_graph: CoreGraph,
+    topologies: list[Topology] | None = None,
+    routing: str = "MP",
+    objective="hops",
+    constraints: Constraints | None = None,
+    estimator: NetworkEstimator | None = None,
+    config: MapperConfig | None = None,
+) -> SelectionResult:
+    """Map onto every library topology and choose the best.
+
+    Args:
+        topologies: explicit topology instances; defaults to the paper's
+            standard five-entry library sized for the application.
+        objective: an objective name or an
+            :class:`~repro.core.objectives.Objective` instance (e.g. a
+            :class:`~repro.core.objectives.WeightedObjective`).
+    """
+    if isinstance(objective, str):
+        make_objective(objective)  # validate the name early
+        objective_name = objective
+    else:
+        objective_name = objective.name
+    if topologies is None:
+        topologies = standard_library(core_graph.num_cores)
+    selection = SelectionResult(
+        objective_name=objective_name, routing_code=routing
+    )
+    for topology in topologies:
+        try:
+            evaluation = map_onto(
+                core_graph,
+                topology,
+                routing=routing,
+                objective=objective,
+                constraints=constraints,
+                estimator=estimator,
+                config=config,
+            )
+        except (MappingInfeasibleError, UnsupportedRoutingError) as exc:
+            selection.errors[topology.name] = str(exc)
+            continue
+        selection.evaluations[topology.name] = evaluation
+    return selection

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the SUNMAP reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CoreGraphError(ReproError):
+    """Raised for malformed application core graphs."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid topology parameters or queries."""
+
+
+class UnsupportedRoutingError(ReproError):
+    """Raised when a routing function does not apply to a topology.
+
+    Example: dimension-ordered routing is undefined for a 3-stage Clos
+    network; the selector treats this as "skip this combination".
+    """
+
+
+class MappingInfeasibleError(ReproError):
+    """Raised when no feasible mapping exists for a topology.
+
+    A mapping is infeasible when the core count exceeds the slot count, or
+    when every evaluated assignment violates the bandwidth or area
+    constraints (e.g. MPEG4 on a butterfly, Section 6.1 of the paper).
+    """
+
+
+class FloorplanError(ReproError):
+    """Raised when the LP floorplanner cannot produce a legal placement."""
+
+
+class SimulationError(ReproError):
+    """Raised for invalid simulator configuration or broken invariants."""
+
+
+class GenerationError(ReproError):
+    """Raised when SystemC generation is asked for an incomplete design."""

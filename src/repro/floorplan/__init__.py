@@ -1,0 +1,18 @@
+"""LP-based floorplanning (paper Section 5)."""
+
+from repro.floorplan.blocks import Block, BlockRect
+from repro.floorplan.lp import (
+    DEFAULT_CHANNEL_MM,
+    FloorplanResult,
+    floorplan_mapping,
+)
+from repro.floorplan.positions import derive_columns
+
+__all__ = [
+    "Block",
+    "BlockRect",
+    "FloorplanResult",
+    "floorplan_mapping",
+    "derive_columns",
+    "DEFAULT_CHANNEL_MM",
+]

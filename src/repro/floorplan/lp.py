@@ -1,0 +1,336 @@
+"""LP-based floorplanner (paper Section 5, after [21]).
+
+Given the column structure from :mod:`repro.floorplan.positions` (the
+relative positions implied by the mapping), a single linear program finds
+exact positions and soft-block sizes minimizing chip width + height:
+
+* variables: column boundaries, per-block ``(y, w, h)``, chip height H;
+* hard blocks are fixed squares, soft blocks choose a width within their
+  aspect-ratio range, with the non-linear area law ``h >= A / w``
+  approximated from below by tangent cuts (a standard LP floorplanning
+  linearization);
+* after the LP, a legalization pass restores exact areas
+  (``h = max(h_lp, A / w)``) and re-stacks columns, so the result is
+  always overlap-free and area-conserving even where the tangent
+  approximation was loose.
+
+The resulting block rectangles give the design area / aspect-ratio
+feasibility checks and the link lengths used for power estimation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.core.coregraph import CoreGraph
+from repro.errors import FloorplanError
+from repro.floorplan.blocks import Block, BlockRect
+from repro.floorplan.positions import derive_columns
+from repro.physical.technology import TECH_100NM, Technology
+from repro.topology.base import Topology, is_switch, is_term, term
+
+#: Wiring-channel margin between blocks and columns (mm).
+DEFAULT_CHANNEL_MM = 0.15
+
+#: Number of tangent cuts approximating h >= A/w for soft blocks.
+TANGENT_CUTS = 5
+
+#: Shortest physical link length accounted (same-tile connections), mm.
+MIN_LINK_MM = 0.05
+
+
+@dataclass
+class FloorplanResult:
+    """A legalized floorplan."""
+
+    rects: dict[tuple, BlockRect]
+    width_mm: float
+    height_mm: float
+    columns: list[list[tuple]]
+
+    @property
+    def area_mm2(self) -> float:
+        return self.width_mm * self.height_mm
+
+    @property
+    def aspect_ratio(self) -> float:
+        """max(W, H) / min(W, H) >= 1."""
+        lo = min(self.width_mm, self.height_mm)
+        hi = max(self.width_mm, self.height_mm)
+        return hi / lo if lo > 0 else math.inf
+
+    @property
+    def block_area_mm2(self) -> float:
+        return sum(r.area_mm2 for r in self.rects.values())
+
+    @property
+    def whitespace_fraction(self) -> float:
+        if self.area_mm2 <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.block_area_mm2 / self.area_mm2)
+
+    # ------------------------------------------------------------------
+    def node_center(self, topology: Topology, assignment: dict, node):
+        """Physical center of a topology-graph node, or None if pruned."""
+        if is_term(node):
+            slot_to_core = {s: c for c, s in assignment.items()}
+            core = slot_to_core.get(node[1])
+            if core is None:
+                return None
+            rect = self.rects.get(("core", core))
+        else:
+            rect = self.rects.get(node)
+        return rect.center if rect is not None else None
+
+    def link_lengths(
+        self, topology: Topology, assignment: dict
+    ) -> dict[tuple, float]:
+        """Manhattan length (mm) of every placed topology link."""
+        lengths = {}
+        slot_to_core = {s: c for c, s in assignment.items()}
+        for u, v in topology.graph.edges():
+            cu = self._center(u, slot_to_core)
+            cv = self._center(v, slot_to_core)
+            if cu is None or cv is None:
+                continue
+            dist = abs(cu[0] - cv[0]) + abs(cu[1] - cv[1])
+            lengths[(u, v)] = max(dist, MIN_LINK_MM)
+        return lengths
+
+    def _center(self, node, slot_to_core):
+        if is_term(node):
+            core = slot_to_core.get(node[1])
+            rect = self.rects.get(("core", core)) if core is not None else None
+        else:
+            rect = self.rects.get(node)
+        return rect.center if rect is not None else None
+
+    def validate(self) -> None:
+        """Check legality; raises :class:`FloorplanError` on violation."""
+        rects = list(self.rects.values())
+        for r in rects:
+            if r.x < -1e-9 or r.y < -1e-9:
+                raise FloorplanError(f"block {r.block.name} outside origin")
+            if r.x + r.w > self.width_mm + 1e-6:
+                raise FloorplanError(f"block {r.block.name} exceeds width")
+            if r.y + r.h > self.height_mm + 1e-6:
+                raise FloorplanError(f"block {r.block.name} exceeds height")
+            if r.area_mm2 < r.block.area_mm2 - 1e-6:
+                raise FloorplanError(f"block {r.block.name} under area")
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                if a.overlaps(b):
+                    raise FloorplanError(
+                        f"blocks {a.block.name} and {b.block.name} overlap"
+                    )
+
+
+# ----------------------------------------------------------------------
+def _solve_lp(
+    columns: list[list[Block]],
+    channel: float,
+    max_aspect: float | None,
+) -> tuple[np.ndarray, list[Block]]:
+    """Solve the sizing LP; returns (solution vector, flat block list)."""
+    n_cols = len(columns)
+    blocks: list[Block] = [b for col in columns for b in col]
+    n_blocks = len(blocks)
+    # Variable layout: [X_0..X_{C-1}] then per block (y, w, h), then H.
+    def xvar(c):
+        return c
+
+    def yvar(i):
+        return n_cols + 3 * i
+
+    def wvar(i):
+        return n_cols + 3 * i + 1
+
+    def hvar(i):
+        return n_cols + 3 * i + 2
+
+    hv = n_cols + 3 * n_blocks
+    n_vars = hv + 1
+
+    rows_a: list[np.ndarray] = []
+    rows_b: list[float] = []
+
+    def add(coeffs: dict[int, float], rhs: float) -> None:
+        row = np.zeros(n_vars)
+        for idx, val in coeffs.items():
+            row[idx] += val
+        rows_a.append(row)
+        rows_b.append(rhs)
+
+    flat_index = 0
+    for c, col in enumerate(columns):
+        prev_y = None
+        for block in col:
+            i = flat_index
+            flat_index += 1
+            # Width fits the column (with channel margin).
+            coeffs = {wvar(i): 1.0, xvar(c): -1.0}
+            if c > 0:
+                coeffs[xvar(c - 1)] = 1.0
+            add(coeffs, -channel)
+            # Stacking below the previous block of the column.
+            if prev_y is not None:
+                j = prev_y
+                add({yvar(j): 1.0, hvar(j): 1.0, yvar(i): -1.0}, -channel)
+            prev_y = i
+            # Below the chip top.
+            add({yvar(i): 1.0, hvar(i): 1.0, hv: -1.0}, 0.0)
+            # Soft-block area tangents: h >= 2A/w0 - (A/w0^2) w.
+            if block.is_soft:
+                w_lo, w_hi = block.width_min, block.width_max
+                for t in range(TANGENT_CUTS):
+                    frac = t / max(1, TANGENT_CUTS - 1)
+                    w0 = w_lo * (w_hi / w_lo) ** frac
+                    area = block.area_mm2
+                    add(
+                        {hvar(i): -1.0, wvar(i): -area / w0**2},
+                        -2.0 * area / w0,
+                    )
+    # Chip aspect-ratio constraints.
+    if max_aspect is not None:
+        add({hv: 1.0, xvar(n_cols - 1): -max_aspect}, 0.0)
+        add({xvar(n_cols - 1): 1.0, hv: -max_aspect}, 0.0)
+
+    bounds: list[tuple] = []
+    for c in range(n_cols):
+        bounds.append((0.0, None))
+    for block in blocks:
+        bounds.append((0.0, None))  # y
+        bounds.append((block.width_min, block.width_max))  # w
+        if block.is_soft:
+            h_lo = math.sqrt(block.area_mm2 / block.aspect_max)
+            h_hi = math.sqrt(block.area_mm2 / block.aspect_min)
+        else:
+            h_lo = h_hi = math.sqrt(block.area_mm2)
+        bounds.append((h_lo, h_hi))  # h
+    bounds.append((0.0, None))  # H
+
+    cost = np.zeros(n_vars)
+    cost[xvar(n_cols - 1)] = 1.0  # W
+    cost[hv] = 1.0  # H
+
+    res = linprog(
+        cost,
+        A_ub=np.vstack(rows_a),
+        b_ub=np.array(rows_b),
+        bounds=bounds,
+        method="highs",
+    )
+    if not res.success:
+        raise FloorplanError(f"floorplan LP failed: {res.message}")
+    return res.x, blocks
+
+
+def _legalize(
+    columns: list[list[Block]],
+    solution: np.ndarray,
+    blocks: list[Block],
+    channel: float,
+    max_aspect: float | None = None,
+) -> FloorplanResult:
+    """Restore exact areas and re-stack; always overlap-free.
+
+    When the tight packing violates ``max_aspect``, the short dimension
+    is padded with whitespace — the aspect bound thus converts into an
+    area cost that the area constraint judges downstream.
+    """
+    n_cols = len(columns)
+    widths = []
+    flat = 0
+    sizes: list[tuple[float, float]] = []
+    for col in columns:
+        col_w = 0.0
+        for block in col:
+            w = float(solution[n_cols + 3 * flat + 1])
+            if block.is_soft:
+                h = max(
+                    float(solution[n_cols + 3 * flat + 2]),
+                    block.area_mm2 / w,
+                )
+            else:
+                h = math.sqrt(block.area_mm2)
+                w = h
+            sizes.append((w, h))
+            col_w = max(col_w, w)
+            flat += 1
+        widths.append(col_w + channel)
+
+    rects: dict[tuple, BlockRect] = {}
+    col_keys: list[list[tuple]] = []
+    x0 = 0.0
+    flat = 0
+    height = 0.0
+    for c, col in enumerate(columns):
+        keys = []
+        y = channel / 2.0
+        inner = widths[c] - channel
+        for block in col:
+            w, h = sizes[flat]
+            if block.is_soft:
+                # Widen to fill the column (within aspect bounds); the
+                # freed height tightens the chip without re-solving.
+                w = min(block.width_max, inner)
+                h = max(block.area_mm2 / w,
+                        math.sqrt(block.area_mm2 / block.aspect_max))
+            x = x0 + channel / 2.0 + (inner - w) / 2.0
+            rects[block.key] = BlockRect(block=block, x=x, y=y, w=w, h=h)
+            keys.append(block.key)
+            y += h + channel
+            flat += 1
+        height = max(height, y - channel / 2.0)
+        col_keys.append(keys)
+        x0 += widths[c]
+    if max_aspect is not None and x0 > 0 and height > 0:
+        if height > max_aspect * x0:
+            x0 = height / max_aspect
+        elif x0 > max_aspect * height:
+            height = x0 / max_aspect
+    return FloorplanResult(
+        rects=rects, width_mm=x0, height_mm=height, columns=col_keys
+    )
+
+
+def floorplan_mapping(
+    topology: Topology,
+    assignment: dict[int, int],
+    core_graph: CoreGraph,
+    used_switches: set | None = None,
+    tech: Technology = TECH_100NM,
+    channel_mm: float = DEFAULT_CHANNEL_MM,
+    max_aspect: float | None = 3.0,
+) -> FloorplanResult:
+    """Floorplan one mapping (Figure 5, step 7).
+
+    Args:
+        topology: the NoC.
+        assignment: core index -> terminal slot.
+        core_graph: supplies core block areas and softness.
+        used_switches: prune unused multistage switches before placing.
+        max_aspect: chip aspect-ratio bound fed to the LP (None = free).
+
+    Raises:
+        FloorplanError: if the LP is infeasible (e.g. impossible aspect
+            bound) — the mapping is then area-infeasible.
+    """
+    columns = derive_columns(
+        topology,
+        assignment,
+        core_graph,
+        used_switches=used_switches,
+        tech=tech,
+    )
+    columns = [col for col in columns if col]
+    if not columns:
+        raise FloorplanError("nothing to floorplan")
+    solution, blocks = _solve_lp(columns, channel_mm, max_aspect)
+    result = _legalize(columns, solution, blocks, channel_mm, max_aspect)
+    result.validate()
+    return result

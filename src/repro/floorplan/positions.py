@@ -1,0 +1,154 @@
+"""Relative block positions from a topology and a mapping.
+
+"For a particular mapping that needs to be evaluated for
+area-power-latency, the relative positions of the cores and switches are
+known. Thus the floorplanning problem is reduced to the one of finding
+the exact positions and sizes" (Section 5). This module computes those
+relative positions as an ordered *column structure*: a list of columns
+(left to right), each an ordered list of blocks (bottom to top), which is
+exactly the partial order the LP floorplanner consumes.
+
+Direct topologies use their natural grid (core and switch share a tile).
+Multistage topologies follow the paper's Figure 10(b) layout: half of the
+cores on the left, the switch stages as thin middle columns, the
+remaining cores on the right.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.coregraph import CoreGraph
+from repro.errors import FloorplanError
+from repro.floorplan.blocks import Block
+from repro.physical.library import AreaPowerLibrary
+from repro.physical.switch_area import SwitchConfig
+from repro.physical.technology import TECH_100NM, Technology
+from repro.topology.base import Topology, term
+
+#: Maximum core blocks stacked in one generated column (indirect layout).
+MAX_CORES_PER_COLUMN = 4
+
+
+def _core_block(core_graph: CoreGraph, core_index: int) -> Block:
+    core = core_graph.core(core_index)
+    return Block(
+        key=("core", core_index),
+        name=core.name,
+        area_mm2=core.area_mm2,
+        is_soft=core.is_soft,
+        aspect_min=core.aspect_min,
+        aspect_max=core.aspect_max,
+    )
+
+
+def _switch_block(
+    topology: Topology, sw, library: AreaPowerLibrary
+) -> Block:
+    n_in, n_out = topology.switch_ports(sw)
+    cfg = SwitchConfig(
+        n_in=n_in,
+        n_out=n_out,
+        flit_width_bits=library.tech.flit_width_bits,
+        buffer_depth_flits=library.tech.buffer_depth_flits,
+    )
+    return Block(
+        key=sw,
+        name=f"sw{sw[1]}",
+        area_mm2=library.entry(cfg).area_mm2,
+        is_soft=False,
+    )
+
+
+def _chunk_columns(blocks: list[Block], per_column: int) -> list[list[Block]]:
+    """Split a block list into balanced columns of at most ``per_column``."""
+    if not blocks:
+        return []
+    n_cols = math.ceil(len(blocks) / per_column)
+    rows = math.ceil(len(blocks) / n_cols)
+    return [blocks[i : i + rows] for i in range(0, len(blocks), rows)]
+
+
+def _direct_columns(
+    topology: Topology,
+    slot_to_core: dict[int, int],
+    core_graph: CoreGraph,
+    library: AreaPowerLibrary,
+) -> list[list[Block]]:
+    """Group blocks by the x coordinate of their topology position."""
+    entries = []  # (x, y, order, block)
+    for sw in topology.switches:
+        x, y = topology.position(sw)
+        entries.append((x, y, 1, _switch_block(topology, sw, library)))
+    for slot, core_index in slot_to_core.items():
+        x, y = topology.position(term(slot))
+        entries.append((x, y, 0, _core_block(core_graph, core_index)))
+    xs = sorted({round(x, 6) for x, _, _, _ in entries})
+    columns = []
+    for x in xs:
+        column = sorted(
+            (e for e in entries if round(e[0], 6) == x),
+            key=lambda e: (e[1], e[2]),
+        )
+        columns.append([e[3] for e in column])
+    return columns
+
+
+def _indirect_columns(
+    topology: Topology,
+    slot_to_core: dict[int, int],
+    core_graph: CoreGraph,
+    library: AreaPowerLibrary,
+    used_switches: set | None,
+) -> list[list[Block]]:
+    """Figure 10(b)-style layout: cores split around the switch stages."""
+    slots = sorted(slot_to_core)
+    half = math.ceil(len(slots) / 2)
+    left = [_core_block(core_graph, slot_to_core[s]) for s in slots[:half]]
+    right = [_core_block(core_graph, slot_to_core[s]) for s in slots[half:]]
+
+    stages = getattr(topology, "stages", None)
+    if stages is None:
+        raise FloorplanError(
+            f"indirect topology {topology.name} lacks a stages() layout"
+        )
+    stage_columns = []
+    for stage in stages():
+        column = [
+            _switch_block(topology, sw, library)
+            for sw in stage
+            if used_switches is None or sw in used_switches
+        ]
+        if column:
+            stage_columns.append(column)
+
+    columns = _chunk_columns(left, MAX_CORES_PER_COLUMN)
+    columns += stage_columns
+    columns += _chunk_columns(right, MAX_CORES_PER_COLUMN)
+    return columns
+
+
+def derive_columns(
+    topology: Topology,
+    assignment: dict[int, int],
+    core_graph: CoreGraph,
+    used_switches: set | None = None,
+    tech: Technology = TECH_100NM,
+    library: AreaPowerLibrary | None = None,
+) -> list[list[Block]]:
+    """Column structure for a mapping.
+
+    Args:
+        assignment: core index -> terminal slot (the ``map`` function).
+        used_switches: optional pruning set for multistage topologies.
+    """
+    if library is None:
+        library = AreaPowerLibrary(tech)
+    slot_to_core = {slot: core for core, slot in assignment.items()}
+    if len(slot_to_core) != len(assignment):
+        raise FloorplanError("assignment maps two cores to one slot")
+    if topology.kind == "direct":
+        return _direct_columns(topology, slot_to_core, core_graph, library)
+    return _indirect_columns(
+        topology, slot_to_core, core_graph, library, used_switches
+    )

@@ -1,0 +1,101 @@
+"""JSON serialization for applications and selection results.
+
+Lets users describe their SoC outside Python and feed it to the CLI
+(``sunmap select --app-file my_soc.json``), and lets tools consume
+selection outcomes programmatically.
+
+Core-graph schema::
+
+    {
+      "name": "my-soc",
+      "cores": [
+        {"name": "cpu", "area_mm2": 4.0, "is_soft": true,
+         "aspect_min": 0.33, "aspect_max": 3.0, "power_mw": 0.0},
+        ...
+      ],
+      "flows": [
+        {"src": "cpu", "dst": "mem", "bandwidth_mb_s": 400.0},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.coregraph import CoreGraph
+from repro.core.selector import SelectionResult
+from repro.errors import CoreGraphError
+
+
+def core_graph_to_dict(graph: CoreGraph) -> dict:
+    """Serializable description of an application."""
+    return {
+        "name": graph.name,
+        "cores": [
+            {
+                "name": core.name,
+                "area_mm2": core.area_mm2,
+                "is_soft": core.is_soft,
+                "aspect_min": core.aspect_min,
+                "aspect_max": core.aspect_max,
+                "power_mw": core.power_mw,
+            }
+            for core in graph.cores
+        ],
+        "flows": [
+            {
+                "src": graph.core(src).name,
+                "dst": graph.core(dst).name,
+                "bandwidth_mb_s": bandwidth,
+            }
+            for (src, dst), bandwidth in sorted(graph.flows().items())
+        ],
+    }
+
+
+def core_graph_from_dict(payload: dict) -> CoreGraph:
+    """Rebuild an application from its dict form (validates)."""
+    try:
+        graph = CoreGraph(payload["name"])
+        for core in payload["cores"]:
+            graph.add_core(
+                core["name"],
+                area_mm2=core.get("area_mm2", 2.0),
+                is_soft=core.get("is_soft", True),
+                aspect_min=core.get("aspect_min", 1.0 / 3.0),
+                aspect_max=core.get("aspect_max", 3.0),
+                power_mw=core.get("power_mw", 0.0),
+            )
+        for flow in payload["flows"]:
+            graph.add_flow(flow["src"], flow["dst"], flow["bandwidth_mb_s"])
+    except KeyError as exc:
+        raise CoreGraphError(f"missing field in core-graph JSON: {exc}") from None
+    graph.validate()
+    return graph
+
+
+def save_core_graph(graph: CoreGraph, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(core_graph_to_dict(graph), handle, indent=2)
+
+
+def load_core_graph(path) -> CoreGraph:
+    with open(path, "r", encoding="utf-8") as handle:
+        return core_graph_from_dict(json.load(handle))
+
+
+def selection_to_dict(selection: SelectionResult) -> dict:
+    """Serializable selection outcome (summary rows + winner)."""
+    return {
+        "objective": selection.objective_name,
+        "routing": selection.routing_code,
+        "best": selection.best_name,
+        "rows": selection.table(),
+    }
+
+
+def save_selection(selection: SelectionResult, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(selection_to_dict(selection), handle, indent=2)

@@ -1,0 +1,49 @@
+"""Area/power models and libraries (paper Section 5)."""
+
+from repro.physical.estimate import NetworkEstimator, PowerBreakdown
+from repro.physical.library import AreaPowerLibrary, LibraryEntry
+from repro.physical.link_power import (
+    link_dynamic_power_mw,
+    link_leakage_power_mw,
+)
+from repro.physical.switch_area import (
+    SwitchConfig,
+    buffer_area_um2,
+    channel_area_mm2,
+    crossbar_area_um2,
+    logic_area_um2,
+    switch_area_mm2,
+)
+from repro.physical.switch_power import (
+    BITS_PER_MB,
+    switch_clock_power_mw,
+    switch_dynamic_power_mw,
+    switch_energy_pj_per_bit,
+    switch_leakage_power_mw,
+    switch_static_power_mw,
+)
+from repro.physical.technology import TECH_100NM, Technology, scaled_technology
+
+__all__ = [
+    "Technology",
+    "TECH_100NM",
+    "scaled_technology",
+    "SwitchConfig",
+    "switch_area_mm2",
+    "crossbar_area_um2",
+    "buffer_area_um2",
+    "logic_area_um2",
+    "channel_area_mm2",
+    "switch_energy_pj_per_bit",
+    "switch_dynamic_power_mw",
+    "switch_clock_power_mw",
+    "switch_leakage_power_mw",
+    "switch_static_power_mw",
+    "BITS_PER_MB",
+    "link_dynamic_power_mw",
+    "link_leakage_power_mw",
+    "AreaPowerLibrary",
+    "LibraryEntry",
+    "NetworkEstimator",
+    "PowerBreakdown",
+]

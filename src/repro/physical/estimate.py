@@ -1,0 +1,166 @@
+"""Network-level area and power estimation.
+
+Bridges the per-switch analytical models to whole-design numbers: given a
+topology, a routing result (which switch/link carries how much traffic)
+and physical link lengths, produce the "des area" / "des pow" columns of
+the paper's tables (Figures 3(d), 6(c,d), 7(b), 8(c,d)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.physical.library import AreaPowerLibrary
+from repro.physical.link_power import (
+    link_dynamic_power_mw,
+    link_leakage_power_mw,
+)
+from repro.physical.switch_area import SwitchConfig, channel_area_mm2
+from repro.physical.switch_power import BITS_PER_MB
+from repro.physical.technology import TECH_100NM, Technology
+from repro.routing.base import RoutingResult
+from repro.topology.base import Topology, is_switch
+
+
+@dataclass
+class PowerBreakdown:
+    """Network power split by mechanism (all mW)."""
+
+    switch_dynamic: float = 0.0
+    link_dynamic: float = 0.0
+    clock: float = 0.0
+    leakage: float = 0.0
+
+    @property
+    def total_mw(self) -> float:
+        return self.switch_dynamic + self.link_dynamic + self.clock + self.leakage
+
+
+class NetworkEstimator:
+    """Computes network area/power for an evaluated mapping."""
+
+    def __init__(self, tech: Technology = TECH_100NM):
+        self.tech = tech
+        self.library = AreaPowerLibrary(tech)
+
+    # ------------------------------------------------------------------
+    def switch_config(self, topology: Topology, sw) -> SwitchConfig:
+        n_in, n_out = topology.switch_ports(sw)
+        return SwitchConfig(
+            n_in=n_in,
+            n_out=n_out,
+            flit_width_bits=self.tech.flit_width_bits,
+            buffer_depth_flits=self.tech.buffer_depth_flits,
+        )
+
+    def used_switches(
+        self, topology: Topology, result: RoutingResult | None
+    ) -> set:
+        """Switches that must be instantiated.
+
+        Direct topologies instantiate every switch (each hosts a core
+        slot); multistage topologies prune switches no route touches —
+        the paper's DSP butterfly keeps 4 of 6 switches (Fig. 10(b)).
+        """
+        if topology.kind == "direct" or result is None:
+            return set(topology.switches)
+        return {
+            node
+            for path in result.all_paths()
+            for node in path
+            if is_switch(node)
+        }
+
+    # ------------------------------------------------------------------
+    def edge_length_mm(self, topology, u, v, lengths_mm, pitch_mm) -> float:
+        """Physical length of a link: floorplanned if known, nominal else."""
+        if lengths_mm is not None and (u, v) in lengths_mm:
+            return lengths_mm[(u, v)]
+        return topology.graph.edges[u, v]["length"] * pitch_mm
+
+    def network_power_mw(
+        self,
+        topology: Topology,
+        result: RoutingResult,
+        lengths_mm: dict | None = None,
+        pitch_mm: float = 2.0,
+    ) -> PowerBreakdown:
+        """Total network power for a routed mapping.
+
+        Args:
+            lengths_mm: optional ``{(u, v): mm}`` floorplanned lengths.
+            pitch_mm: tile pitch used with nominal lengths when a link is
+                not in ``lengths_mm``.
+        """
+        breakdown = PowerBreakdown()
+        # Dynamic power: walk every routed path, charging switch and wire
+        # energy per bit (Section 5: "power dissipation for the switches
+        # and links are calculated based on the average traffic").
+        for rc in result.routed:
+            for path, bw in rc.paths:
+                bits_per_s = bw * BITS_PER_MB
+                for node in path:
+                    if is_switch(node):
+                        entry = self.library.entry(
+                            self.switch_config(topology, node)
+                        )
+                        breakdown.switch_dynamic += (
+                            bits_per_s * entry.energy_pj_per_bit * 1e-9
+                        )
+                for u, v in zip(path, path[1:]):
+                    length = self.edge_length_mm(
+                        topology, u, v, lengths_mm, pitch_mm
+                    )
+                    breakdown.link_dynamic += link_dynamic_power_mw(
+                        bw, length, self.tech
+                    )
+        # Static power: every instantiated switch clocks and leaks.
+        for sw in self.used_switches(topology, result):
+            entry = self.library.entry(self.switch_config(topology, sw))
+            breakdown.clock += (
+                self.tech.clock_power_mw_per_port
+                * (entry.config.n_in + entry.config.n_out)
+                / 2.0
+            )
+            breakdown.leakage += (
+                self.tech.leakage_mw_per_mm2 * entry.area_mm2
+            )
+        # Link repeater leakage over instantiated channels.
+        used = self.used_switches(topology, result)
+        for u, v in topology.net_edges():
+            if u in used and v in used:
+                length = self.edge_length_mm(
+                    topology, u, v, lengths_mm, pitch_mm
+                )
+                breakdown.leakage += link_leakage_power_mw(length, self.tech)
+        return breakdown
+
+    # ------------------------------------------------------------------
+    def switches_area_mm2(
+        self, topology: Topology, result: RoutingResult | None = None
+    ) -> float:
+        """Total silicon area of the instantiated switches."""
+        return sum(
+            self.library.entry(self.switch_config(topology, sw)).area_mm2
+            for sw in self.used_switches(topology, result)
+        )
+
+    def channels_area_mm2(
+        self,
+        topology: Topology,
+        result: RoutingResult | None = None,
+        lengths_mm: dict | None = None,
+        pitch_mm: float = 2.0,
+    ) -> float:
+        """Total wiring area of the instantiated inter-switch channels."""
+        used = self.used_switches(topology, result)
+        total = 0.0
+        for u, v in topology.net_edges():
+            if u in used and v in used:
+                length = self.edge_length_mm(
+                    topology, u, v, lengths_mm, pitch_mm
+                )
+                total += channel_area_mm2(
+                    length, self.tech.flit_width_bits, self.tech
+                )
+        return total

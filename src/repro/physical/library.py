@@ -1,0 +1,60 @@
+"""Area-power libraries (the paper's "Area Lib" / "Pow Lib", Figure 4).
+
+"The area-power models are used to generate area-power libraries for
+various switch configurations for different technology parameters."
+
+:class:`AreaPowerLibrary` memoizes the analytical models per switch
+configuration and can emit the full library table for documentation or
+the CLI (``sunmap library``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.physical.switch_area import SwitchConfig, switch_area_mm2
+from repro.physical.switch_power import (
+    switch_energy_pj_per_bit,
+    switch_static_power_mw,
+)
+from repro.physical.technology import TECH_100NM, Technology
+
+
+@dataclass(frozen=True)
+class LibraryEntry:
+    """Area/power characterization of one switch configuration."""
+
+    config: SwitchConfig
+    area_mm2: float
+    energy_pj_per_bit: float
+    static_power_mw: float
+
+
+class AreaPowerLibrary:
+    """Per-technology cache of switch characterizations."""
+
+    def __init__(self, tech: Technology = TECH_100NM):
+        self.tech = tech
+        self._entries: dict[SwitchConfig, LibraryEntry] = {}
+
+    def entry(self, cfg: SwitchConfig) -> LibraryEntry:
+        """Characterize (and cache) one switch configuration."""
+        cached = self._entries.get(cfg)
+        if cached is None:
+            cached = LibraryEntry(
+                config=cfg,
+                area_mm2=switch_area_mm2(cfg, self.tech),
+                energy_pj_per_bit=switch_energy_pj_per_bit(cfg, self.tech),
+                static_power_mw=switch_static_power_mw(cfg, self.tech),
+            )
+            self._entries[cfg] = cached
+        return cached
+
+    def table(self, max_radix: int = 8) -> list[LibraryEntry]:
+        """Library entries for all square switches up to ``max_radix``."""
+        return [
+            self.entry(SwitchConfig(r, r)) for r in range(2, max_radix + 1)
+        ]
+
+    def __repr__(self) -> str:
+        return f"AreaPowerLibrary({self.tech.name}, cached={len(self._entries)})"

@@ -1,0 +1,87 @@
+"""Analytical switch area model (paper Section 5).
+
+"The area calculations include the crossbar area, buffer area, logic
+(including control) area. The models take into account the nuances of
+individual switch configurations and include fine granularity of details
+(like accounting for pipeline registers, cross points, etc)."
+
+The crossbar is modeled as a wire matrix: ``n_in * W`` horizontal tracks
+crossing ``n_out * W`` vertical tracks at the technology's wire pitch, so
+its area grows with the *product* of port counts — the reason a torus
+(all 5x5 switches) pays more area than a mesh (3x3 corners, 4x4 edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.physical.technology import TECH_100NM, Technology
+
+
+@dataclass(frozen=True)
+class SwitchConfig:
+    """One switch configuration in the area/power library.
+
+    Port counts include the core (network-interface) ports; a mesh
+    interior switch is ``SwitchConfig(5, 5)``.
+    """
+
+    n_in: int
+    n_out: int
+    flit_width_bits: int = TECH_100NM.flit_width_bits
+    buffer_depth_flits: int = TECH_100NM.buffer_depth_flits
+
+    def __post_init__(self):
+        if self.n_in < 1 or self.n_out < 1:
+            raise ValueError("switch needs at least one port per side")
+        if self.flit_width_bits < 1 or self.buffer_depth_flits < 1:
+            raise ValueError("flit width and buffer depth must be positive")
+
+    @property
+    def radix(self) -> int:
+        return max(self.n_in, self.n_out)
+
+
+def crossbar_area_um2(cfg: SwitchConfig, tech: Technology = TECH_100NM) -> float:
+    """Wire-matrix crossbar area."""
+    horizontal = cfg.n_in * cfg.flit_width_bits * tech.wire_pitch_um
+    vertical = cfg.n_out * cfg.flit_width_bits * tech.wire_pitch_um
+    return horizontal * vertical
+
+
+def buffer_area_um2(cfg: SwitchConfig, tech: Technology = TECH_100NM) -> float:
+    """Input FIFO area: depth x width SRAM per input port."""
+    bits = cfg.n_in * cfg.buffer_depth_flits * cfg.flit_width_bits
+    return bits * tech.sram_bit_area_um2
+
+
+def logic_area_um2(cfg: SwitchConfig, tech: Technology = TECH_100NM) -> float:
+    """Arbitration, flow control, pipeline registers and per-switch misc."""
+    arbiter = tech.arbiter_area_per_portpair_um2 * cfg.n_in * cfg.n_out
+    ports = tech.port_logic_area_um2 * (cfg.n_in + cfg.n_out)
+    return arbiter + ports + tech.switch_overhead_um2
+
+
+def switch_area_mm2(cfg: SwitchConfig, tech: Technology = TECH_100NM) -> float:
+    """Total switch silicon area in mm²."""
+    total_um2 = (
+        crossbar_area_um2(cfg, tech)
+        + buffer_area_um2(cfg, tech)
+        + logic_area_um2(cfg, tech)
+    )
+    return total_um2 * 1e-6
+
+
+def channel_area_mm2(
+    length_mm: float,
+    flit_width_bits: int | None = None,
+    tech: Technology = TECH_100NM,
+) -> float:
+    """Wiring area of one unidirectional inter-switch channel.
+
+    ``W`` parallel wires at the technology pitch over ``length_mm``; used
+    to charge long torus wrap-arounds and butterfly stage links against
+    the design area.
+    """
+    width_bits = flit_width_bits or tech.flit_width_bits
+    return length_mm * width_bits * tech.wire_pitch_um * 1e-3

@@ -1,0 +1,56 @@
+"""ORION-style switch power model (paper Section 5, [22]).
+
+Dynamic energy is charged *per bit traversing the switch*: one buffer
+write, one buffer read, a crossbar traversal whose cost grows with port
+count (longer crossbar wires), and arbitration. On top of the
+traffic-proportional part, each instantiated switch burns clock power
+(proportional to its port count) and leakage (proportional to its area)
+regardless of load.
+"""
+
+from __future__ import annotations
+
+from repro.physical.switch_area import SwitchConfig, switch_area_mm2
+from repro.physical.technology import TECH_100NM, Technology
+
+#: Conversion: 1 MB/s of traffic = 8e6 bits/s.
+BITS_PER_MB = 8e6
+
+
+def switch_energy_pj_per_bit(
+    cfg: SwitchConfig, tech: Technology = TECH_100NM
+) -> float:
+    """Dynamic energy for one bit to cross one switch."""
+    effective_ports = (cfg.n_in + cfg.n_out) / 2.0
+    return (
+        tech.e_buffer_write_pj
+        + tech.e_buffer_read_pj
+        + tech.e_xbar_base_pj
+        + tech.e_xbar_per_port_pj * effective_ports
+        + tech.e_arb_per_port_pj * effective_ports
+    )
+
+
+def switch_dynamic_power_mw(
+    cfg: SwitchConfig, traffic_mb_s: float, tech: Technology = TECH_100NM
+) -> float:
+    """Dynamic power of a switch carrying ``traffic_mb_s`` of traffic."""
+    bits_per_s = traffic_mb_s * BITS_PER_MB
+    return bits_per_s * switch_energy_pj_per_bit(cfg, tech) * 1e-12 * 1e3
+
+
+def switch_clock_power_mw(cfg: SwitchConfig, tech: Technology = TECH_100NM) -> float:
+    """Clock-tree and idle control power (load independent)."""
+    return tech.clock_power_mw_per_port * (cfg.n_in + cfg.n_out) / 2.0
+
+
+def switch_leakage_power_mw(
+    cfg: SwitchConfig, tech: Technology = TECH_100NM
+) -> float:
+    """Leakage power, proportional to switch area."""
+    return tech.leakage_mw_per_mm2 * switch_area_mm2(cfg, tech)
+
+
+def switch_static_power_mw(cfg: SwitchConfig, tech: Technology = TECH_100NM) -> float:
+    """Total load-independent power of one instantiated switch."""
+    return switch_clock_power_mw(cfg, tech) + switch_leakage_power_mw(cfg, tech)

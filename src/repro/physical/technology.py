@@ -1,0 +1,105 @@
+"""Technology parameters (paper Section 5).
+
+The paper generates its area/power libraries for a 0.1 µm process, using
+xpipes-style analytical switch area models, ORION-derived bit-energy
+models [22] and the wiring parameters of Ho/Mai/Horowitz "The Future of
+Wires" [23]. The constants below are clean-room equivalents calibrated so
+that absolute results land in the paper's reported ranges (a 5x5 32-bit
+switch ≈ 0.2 mm²; VOPD mesh design ≈ tens of mm² and a few hundred mW);
+selection decisions only depend on the *relative* ordering they induce.
+
+All areas are in µm² unless suffixed otherwise; energies in pJ per bit;
+power coefficients in mW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process + microarchitecture parameters for the area/power models."""
+
+    name: str = "cmos-100nm"
+    feature_um: float = 0.10
+    vdd_v: float = 1.2
+    clock_mhz: float = 500.0
+
+    # Switch microarchitecture (xpipes-style, Section 5).
+    flit_width_bits: int = 32
+    buffer_depth_flits: int = 16
+
+    # --- area model -----------------------------------------------------
+    #: SRAM cell + FIFO control overhead, per buffered bit.
+    sram_bit_area_um2: float = 12.0
+    #: Metal pitch of crossbar / channel wires.
+    wire_pitch_um: float = 0.8
+    #: Matrix arbiter + flow-control logic per input-output port pair.
+    arbiter_area_per_portpair_um2: float = 450.0
+    #: Pipeline registers, synchronizers and control per port.
+    port_logic_area_um2: float = 15000.0
+    #: Clock tree taps, configuration registers, misc per switch.
+    switch_overhead_um2: float = 20000.0
+
+    # --- dynamic energy model (pJ/bit) ----------------------------------
+    # Crossbar energy carries a strong per-port term (crossbar wires span
+    # all ports), which is what rewards the butterfly's small 4x4 switches
+    # over the torus's uniform 5x5 ones (Section 6.1 discussion).
+    e_buffer_write_pj: float = 0.8
+    e_buffer_read_pj: float = 0.7
+    e_xbar_base_pj: float = 0.45
+    e_xbar_per_port_pj: float = 0.5
+    e_arb_per_port_pj: float = 0.06
+    #: Effective wire + repeater capacitance. Kept low so that, as the
+    #: paper observes, "link power dissipation is much lower than the
+    #: switch power dissipation".
+    wire_cap_ff_per_mm: float = 100.0
+
+    # --- static / clock power -------------------------------------------
+    clock_power_mw_per_port: float = 2.4
+    leakage_mw_per_mm2: float = 8.0
+    link_leakage_mw_per_mm: float = 0.04
+
+    @property
+    def link_energy_pj_per_bit_mm(self) -> float:
+        """Dynamic energy to move one bit over one mm of wire."""
+        return self.wire_cap_ff_per_mm * 1e-3 * self.vdd_v**2
+
+
+#: The technology used throughout the paper's experiments.
+TECH_100NM = Technology()
+
+
+def scaled_technology(feature_um: float, base: Technology = TECH_100NM) -> Technology:
+    """Derive a technology node by classic constant-field scaling.
+
+    Areas scale with the square of the feature ratio, capacitances and
+    energies roughly linearly, supply voltage with the ratio (floored at
+    0.7 V). This supports "area-power libraries ... for different
+    technology parameters" (Section 5) without tabulating each node.
+    """
+    if feature_um <= 0:
+        raise ValueError("feature size must be positive")
+    s = feature_um / base.feature_um
+    vdd = max(0.7, base.vdd_v * s)
+    ve = (vdd / base.vdd_v) ** 2  # dynamic energy scales with C * V^2
+    return replace(
+        base,
+        name=f"cmos-{int(feature_um * 1000)}nm",
+        feature_um=feature_um,
+        vdd_v=vdd,
+        sram_bit_area_um2=base.sram_bit_area_um2 * s**2,
+        wire_pitch_um=base.wire_pitch_um * s,
+        arbiter_area_per_portpair_um2=base.arbiter_area_per_portpair_um2 * s**2,
+        port_logic_area_um2=base.port_logic_area_um2 * s**2,
+        switch_overhead_um2=base.switch_overhead_um2 * s**2,
+        e_buffer_write_pj=base.e_buffer_write_pj * s * ve,
+        e_buffer_read_pj=base.e_buffer_read_pj * s * ve,
+        e_xbar_base_pj=base.e_xbar_base_pj * s * ve,
+        e_xbar_per_port_pj=base.e_xbar_per_port_pj * s * ve,
+        e_arb_per_port_pj=base.e_arb_per_port_pj * s * ve,
+        wire_cap_ff_per_mm=base.wire_cap_ff_per_mm,
+        clock_power_mw_per_port=base.clock_power_mw_per_port * s,
+        leakage_mw_per_mm2=base.leakage_mw_per_mm2,
+    )

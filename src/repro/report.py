@@ -1,0 +1,112 @@
+"""Plain-text rendering of SUNMAP artifacts.
+
+ASCII views of floorplans (Figure 10(b) style), topology summaries and
+markdown tables — useful in terminals, logs and docs, with zero plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from repro.core.coregraph import CoreGraph
+from repro.core.evaluate import MappingEvaluation
+from repro.core.selector import SelectionResult
+from repro.floorplan.lp import FloorplanResult
+
+
+def render_floorplan(
+    floorplan: FloorplanResult,
+    core_graph: CoreGraph | None = None,
+    width: int = 68,
+    height: int = 24,
+) -> str:
+    """ASCII rendering of a floorplan (labels at block centers).
+
+    Cores render as boxes of ``#`` borders; switches as ``+`` blocks.
+    """
+    if floorplan.width_mm <= 0 or floorplan.height_mm <= 0:
+        return "(empty floorplan)"
+    sx = (width - 1) / floorplan.width_mm
+    sy = (height - 1) / floorplan.height_mm
+    canvas = [[" "] * width for _ in range(height)]
+
+    def plot(x0, y0, x1, y1, border):
+        c0, r0 = int(x0 * sx), int(y0 * sy)
+        c1, r1 = max(int(x1 * sx), c0 + 1), max(int(y1 * sy), r0 + 1)
+        c1 = min(c1, width - 1)
+        r1 = min(r1, height - 1)
+        for c in range(c0, c1 + 1):
+            canvas[r0][c] = border
+            canvas[r1][c] = border
+        for r in range(r0, r1 + 1):
+            canvas[r][c0] = border
+            canvas[r][c1] = border
+        return (r0 + r1) // 2, (c0 + c1) // 2
+
+    for key, rect in floorplan.rects.items():
+        border = "+" if key[0] == "sw" else "#"
+        row, col = plot(
+            rect.x, rect.y, rect.x + rect.w, rect.y + rect.h, border
+        )
+        if key[0] == "core" and core_graph is not None:
+            label = core_graph.core(key[1]).name[:10]
+        elif key[0] == "core":
+            label = f"c{key[1]}"
+        else:
+            label = "sw"
+        start = max(1, col - len(label) // 2)
+        for i, ch in enumerate(label):
+            if start + i < width - 1:
+                canvas[row][start + i] = ch
+
+    # y grows upward in floorplan coordinates; flip for display.
+    lines = ["".join(row).rstrip() for row in reversed(canvas)]
+    header = (
+        f"{floorplan.width_mm:.2f} x {floorplan.height_mm:.2f} mm "
+        f"({floorplan.area_mm2:.1f} mm2, "
+        f"{floorplan.whitespace_fraction * 100:.0f}% whitespace)"
+    )
+    return "\n".join([header] + lines)
+
+
+def render_mapping(evaluation: MappingEvaluation) -> str:
+    """One-mapping report: metrics plus the core->slot table."""
+    app = evaluation.core_graph
+    lines = [
+        f"{app.name} on {evaluation.topology.name} "
+        f"[{evaluation.routing_code}]",
+        f"  feasible:  {evaluation.feasible}",
+        f"  avg hops:  {evaluation.avg_hops:.3f}",
+        f"  max load:  {evaluation.max_link_load:.1f} MB/s",
+    ]
+    if evaluation.area_mm2 is not None:
+        lines.append(f"  area:      {evaluation.area_mm2:.2f} mm2")
+    if evaluation.power_mw is not None:
+        lines.append(f"  power:     {evaluation.power_mw:.1f} mW")
+    lines.append("  mapping:")
+    for core_index, slot in sorted(evaluation.assignment.items()):
+        lines.append(f"    {app.core(core_index).name:<14} -> slot {slot}")
+    return "\n".join(lines)
+
+
+def selection_to_markdown(selection: SelectionResult) -> str:
+    """Selection table as GitHub-flavored markdown."""
+    header = (
+        "| topology | feasible | avg hops | area mm² | power mW | "
+        "max load | selected |"
+    )
+    rule = "|---|---|---|---|---|---|---|"
+    rows = []
+    for row in selection.table():
+        rows.append(
+            "| {topology} | {feasible} | {hops} | {area} | {power} | "
+            "{load} | {sel} |".format(
+                topology=row["topology"],
+                feasible="yes" if row["feasible"] else "no",
+                hops=row.get("avg_hops", "-"),
+                area=row.get("area_mm2") or "-",
+                power=row.get("power_mw") or "-",
+                load=row.get("max_link_load_mb_s", "-"),
+                sel="**x**" if row.get("selected") else "",
+            )
+        )
+    return "\n".join([header, rule] + rows)

@@ -1,0 +1,26 @@
+"""Routing functions: DO, MP, SM, SA (paper Sections 1 and 6.3)."""
+
+from repro.routing.base import (
+    RoutedCommodity,
+    RoutingFunction,
+    RoutingResult,
+)
+from repro.routing.dimension_ordered import DimensionOrderedRouting
+from repro.routing.library import ROUTING_CODES, all_routings, make_routing
+from repro.routing.loads import EdgeLoads
+from repro.routing.minimum_path import MinimumPathRouting
+from repro.routing.split import SplitAllPathRouting, SplitMinPathRouting
+
+__all__ = [
+    "EdgeLoads",
+    "RoutedCommodity",
+    "RoutingResult",
+    "RoutingFunction",
+    "DimensionOrderedRouting",
+    "MinimumPathRouting",
+    "SplitMinPathRouting",
+    "SplitAllPathRouting",
+    "ROUTING_CODES",
+    "make_routing",
+    "all_routings",
+]

@@ -1,0 +1,142 @@
+"""Routing-function interface and result containers.
+
+A routing function turns one commodity (source slot, destination slot,
+bandwidth) into one or more weighted paths through the topology graph,
+updating the shared :class:`~repro.routing.loads.EdgeLoads` ledger as it
+goes so later commodities (and later chunks of the same commodity) steer
+around accumulated traffic — the mechanism of Figure 5, steps 3-6.
+
+The four functions the paper supports (Section 1, Figure 9(a)):
+
+* ``DO`` — dimension ordered: one deterministic dimension-by-dimension path.
+* ``MP`` — minimum path: least-loaded minimum path (Dijkstra on the
+  quadrant graph).
+* ``SM`` — split traffic across minimum paths.
+* ``SA`` — split traffic across all paths (may leave the quadrant).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.coregraph import Commodity
+from repro.routing.loads import EdgeLoads
+from repro.topology.base import Topology, is_switch
+
+
+@dataclass
+class RoutedCommodity:
+    """Routing outcome for one commodity.
+
+    ``paths`` holds ``(node_path, bandwidth)`` pairs whose bandwidths sum
+    to the commodity value (a single pair for unsplit routing).
+    """
+
+    commodity: Commodity
+    src_slot: int
+    dst_slot: int
+    paths: list[tuple[list, float]] = field(default_factory=list)
+
+    @property
+    def hops(self) -> float:
+        """Bandwidth-weighted switch count over this commodity's paths."""
+        if self.commodity.value <= 0:
+            return 0.0
+        total = sum(
+            bw * sum(1 for n in path if is_switch(n))
+            for path, bw in self.paths
+        )
+        return total / self.commodity.value
+
+    def validate_conservation(self, tol: float = 1e-6) -> bool:
+        routed = sum(bw for _, bw in self.paths)
+        return abs(routed - self.commodity.value) <= tol * max(
+            1.0, self.commodity.value
+        )
+
+
+@dataclass
+class RoutingResult:
+    """All commodities of a mapping, routed."""
+
+    routed: list[RoutedCommodity]
+    loads: EdgeLoads
+
+    def all_paths(self) -> list[list]:
+        return [path for rc in self.routed for path, _ in rc.paths]
+
+    def weighted_average_hops(self) -> float:
+        """Average communication hop delay, weighted by bandwidth.
+
+        This is the paper's "avg hops" performance metric (Figures 3(d),
+        6(a), 7(b)).
+        """
+        total_bw = sum(rc.commodity.value for rc in self.routed)
+        if total_bw <= 0:
+            return 0.0
+        weighted = sum(rc.hops * rc.commodity.value for rc in self.routed)
+        return weighted / total_bw
+
+    def max_link_load(self, topology: Topology) -> float:
+        """Heaviest constrained-link load — the minimum feasible link
+        bandwidth of this routing (Figure 9(a) metric)."""
+        edges = topology.net_edges()
+        if topology.constrain_core_links:
+            edges = edges + topology.core_edges()
+        return self.loads.max_load(edges)
+
+
+class RoutingFunction(ABC):
+    """Base class for the four routing functions."""
+
+    #: Short code used in tables and the CLI ("DO", "MP", "SM", "SA").
+    code: str = "?"
+    #: Human-readable name.
+    name: str = "?"
+
+    @abstractmethod
+    def route_commodity(
+        self,
+        topology: Topology,
+        src_slot: int,
+        dst_slot: int,
+        value: float,
+        loads: EdgeLoads,
+    ) -> list[tuple[list, float]]:
+        """Route one commodity and **record its traffic in ``loads``**.
+
+        Returns ``(path, bandwidth)`` pairs summing to ``value``. The
+        method must call ``loads.add_path`` itself so that multi-chunk
+        routing sees its own earlier chunks.
+        """
+
+    def route_all(
+        self,
+        topology: Topology,
+        slot_of: dict[int, int],
+        commodities: list[Commodity],
+    ) -> RoutingResult:
+        """Route every commodity in the given (already sorted) order.
+
+        Args:
+            topology: target NoC.
+            slot_of: core index -> terminal slot (the mapping function).
+            commodities: commodities in decreasing value order (Figure 5,
+                step 2).
+        """
+        loads = EdgeLoads()
+        routed = []
+        for c in commodities:
+            src = slot_of[c.src]
+            dst = slot_of[c.dst]
+            paths = self.route_commodity(topology, src, dst, c.value, loads)
+            routed.append(
+                RoutedCommodity(
+                    commodity=c, src_slot=src, dst_slot=dst, paths=paths
+                )
+            )
+        return RoutingResult(routed=routed, loads=loads)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.code})"

@@ -1,0 +1,33 @@
+"""Registry of the paper's four routing functions."""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedRoutingError
+from repro.routing.base import RoutingFunction
+from repro.routing.dimension_ordered import DimensionOrderedRouting
+from repro.routing.minimum_path import MinimumPathRouting
+from repro.routing.split import SplitAllPathRouting, SplitMinPathRouting
+
+ROUTING_CODES = ("DO", "MP", "SM", "SA")
+
+_FACTORIES = {
+    "DO": DimensionOrderedRouting,
+    "MP": MinimumPathRouting,
+    "SM": SplitMinPathRouting,
+    "SA": SplitAllPathRouting,
+}
+
+
+def make_routing(code: str, **kwargs) -> RoutingFunction:
+    """Instantiate a routing function by its paper code (DO/MP/SM/SA)."""
+    try:
+        return _FACTORIES[code.upper()](**kwargs)
+    except KeyError:
+        raise UnsupportedRoutingError(
+            f"unknown routing function {code!r}; choose from {ROUTING_CODES}"
+        ) from None
+
+
+def all_routings() -> list[RoutingFunction]:
+    """One instance of each routing function, in paper order."""
+    return [make_routing(code) for code in ROUTING_CODES]

@@ -1,0 +1,55 @@
+"""Per-link traffic accounting.
+
+The mapping algorithm (Figure 5) routes commodities one at a time and
+"increases edge weights in Path by vl(dk)"; :class:`EdgeLoads` is that
+running ledger. Loads are in MB/s, keyed by directed graph edge.
+"""
+
+from __future__ import annotations
+
+
+class EdgeLoads:
+    """Accumulated bandwidth per directed edge of a topology graph."""
+
+    def __init__(self):
+        self._loads: dict[tuple, float] = {}
+        self._total = 0.0
+
+    def add(self, u, v, value: float) -> None:
+        """Add ``value`` MB/s of traffic to edge ``u -> v``."""
+        self._loads[(u, v)] = self._loads.get((u, v), 0.0) + value
+        self._total += value
+
+    def add_path(self, path: list, value: float) -> None:
+        """Add ``value`` MB/s along every edge of a node path."""
+        for u, v in zip(path, path[1:]):
+            self.add(u, v, value)
+
+    def get(self, u, v) -> float:
+        return self._loads.get((u, v), 0.0)
+
+    def items(self):
+        return self._loads.items()
+
+    @property
+    def total(self) -> float:
+        """Sum of load over all edges (an upper bound on any single load)."""
+        return self._total
+
+    def max_load(self, edges=None) -> float:
+        """Largest per-edge load, optionally restricted to ``edges``."""
+        if edges is None:
+            return max(self._loads.values(), default=0.0)
+        return max((self._loads.get(tuple(e), 0.0) for e in edges), default=0.0)
+
+    def copy(self) -> "EdgeLoads":
+        clone = EdgeLoads()
+        clone._loads = dict(self._loads)
+        clone._total = self._total
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._loads)
+
+    def __repr__(self) -> str:
+        return f"EdgeLoads(edges={len(self._loads)}, max={self.max_load():.1f})"

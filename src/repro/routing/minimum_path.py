@@ -1,0 +1,51 @@
+"""Minimum-path (MP) routing — Figure 5, steps 3-6.
+
+For each commodity, a quadrant graph between source and destination is
+formed (the minimum paths all lie inside it, Section 4.3) and Dijkstra
+finds the minimum-hop path with the least accumulated traffic. The
+commodity's full bandwidth then loads that path, steering subsequent
+commodities elsewhere.
+
+Running Dijkstra on the quadrant instead of the whole NoC graph is the
+paper's main computational saving (Section 4.1); the ablation benchmark
+``bench_ablation_quadrant`` measures it.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import RoutingFunction
+from repro.routing.loads import EdgeLoads
+from repro.routing.shortest import min_hop_then_load, routing_view
+from repro.topology.base import Topology, term
+
+
+class MinimumPathRouting(RoutingFunction):
+    """Paper routing function "MP"."""
+
+    code = "MP"
+    name = "minimum-path"
+
+    def __init__(self, use_quadrant: bool = True):
+        #: Disable to measure the cost of whole-graph search (ablation).
+        self.use_quadrant = use_quadrant
+
+    def _search_graph(self, topology: Topology, src_slot, dst_slot):
+        s, d = term(src_slot), term(dst_slot)
+        if self.use_quadrant:
+            return topology.quadrant_subgraph(src_slot, dst_slot)
+        return routing_view(topology.graph, s, d)
+
+    def route_commodity(
+        self,
+        topology: Topology,
+        src_slot: int,
+        dst_slot: int,
+        value: float,
+        loads: EdgeLoads,
+    ) -> list[tuple[list, float]]:
+        graph = self._search_graph(topology, src_slot, dst_slot)
+        path = min_hop_then_load(
+            graph, term(src_slot), term(dst_slot), loads, value
+        )
+        loads.add_path(path, value)
+        return [(path, value)]

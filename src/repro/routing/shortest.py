@@ -1,0 +1,58 @@
+"""Load-aware shortest-path search used by MP/SM/SA routing.
+
+Two weightings:
+
+* :func:`min_hop_then_load` — hop count dominates; accumulated load only
+  breaks ties. The load term of a whole path is scaled to stay below 1,
+  so a path can never trade an extra hop for less load. This implements
+  Figure 5's Dijkstra-on-quadrant with "edge weights increased by vl(dk)".
+* :func:`load_then_hops` — load dominates; a tiny per-hop epsilon keeps
+  zero-load searches minimal. Used by split-across-all-paths routing,
+  which may leave the quadrant to avoid congestion.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.routing.loads import EdgeLoads
+from repro.topology.base import is_switch, is_term
+
+
+def routing_view(graph: nx.DiGraph, src, dst) -> nx.DiGraph:
+    """Subgraph containing all switches but only the endpoint terminals.
+
+    Routes must never pass *through* a third core's terminal; restricting
+    the search graph enforces that structurally.
+    """
+
+    def keep(node):
+        return is_switch(node) or node == src or node == dst
+
+    return nx.subgraph_view(graph, filter_node=keep)
+
+
+def min_hop_then_load(
+    graph: nx.DiGraph, src, dst, loads: EdgeLoads, value: float
+) -> list:
+    """Minimum-hop path, breaking ties by least accumulated traffic."""
+    # Any single edge load is bounded by the ledger total plus the value
+    # currently being routed; scale so a full path's load terms sum < 1.
+    scale = max(1.0, (loads.total + value) * (graph.number_of_nodes() + 1))
+
+    def weight(u, v, _d):
+        return 1.0 + loads.get(u, v) / scale
+
+    return nx.dijkstra_path(graph, src, dst, weight=weight)
+
+
+def load_then_hops(
+    graph: nx.DiGraph, src, dst, loads: EdgeLoads, value: float
+) -> list:
+    """Least-loaded path; hops only matter between equally loaded paths."""
+    eps = max(1e-9, (loads.total + value) * 1e-6)
+
+    def weight(u, v, _d):
+        return loads.get(u, v) + eps
+
+    return nx.dijkstra_path(graph, src, dst, weight=weight)

@@ -1,0 +1,34 @@
+"""Cycle-accurate flit-level NoC simulation (stands in for the paper's
+SystemC simulations, Sections 6.2 and 6.4)."""
+
+from repro.simulation.flit import Flit, Packet
+from repro.simulation.network import Network, SimConfig
+from repro.simulation.routes import RouteTable
+from repro.simulation.stats import (
+    SimReport,
+    latency_vs_injection,
+    run_measurement,
+)
+from repro.simulation.traffic import (
+    ADVERSARIAL_PATTERNS,
+    PATTERNS,
+    SyntheticTraffic,
+    TraceTraffic,
+    adversarial_pattern,
+)
+
+__all__ = [
+    "Flit",
+    "Packet",
+    "Network",
+    "SimConfig",
+    "RouteTable",
+    "SimReport",
+    "run_measurement",
+    "latency_vs_injection",
+    "SyntheticTraffic",
+    "TraceTraffic",
+    "PATTERNS",
+    "ADVERSARIAL_PATTERNS",
+    "adversarial_pattern",
+]

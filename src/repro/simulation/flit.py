@@ -1,0 +1,62 @@
+"""Packets and flits for the cycle-accurate simulator.
+
+Wormhole switching: a packet is a head flit (carrying the destination),
+zero or more body flits, and a tail flit that releases the channels the
+head acquired.
+"""
+
+from __future__ import annotations
+
+
+class Packet:
+    """One network packet (a sequence of flits)."""
+
+    __slots__ = ("pid", "src", "dst", "length", "created", "ejected")
+
+    def __init__(self, pid: int, src: int, dst: int, length: int, created: int):
+        if length < 1:
+            raise ValueError("packet needs at least one flit")
+        self.pid = pid
+        self.src = src
+        self.dst = dst
+        self.length = length
+        self.created = created
+        self.ejected: int | None = None
+
+    @property
+    def latency(self) -> int | None:
+        """Creation-to-ejection latency in cycles (None while in flight)."""
+        if self.ejected is None:
+            return None
+        return self.ejected - self.created
+
+    def flits(self) -> list["Flit"]:
+        """Materialize this packet's flit sequence."""
+        return [Flit(self, i) for i in range(self.length)]
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(#{self.pid} {self.src}->{self.dst} len={self.length})"
+        )
+
+
+class Flit:
+    """One flow-control unit of a packet."""
+
+    __slots__ = ("packet", "index")
+
+    def __init__(self, packet: Packet, index: int):
+        self.packet = packet
+        self.index = index
+
+    @property
+    def is_head(self) -> bool:
+        return self.index == 0
+
+    @property
+    def is_tail(self) -> bool:
+        return self.index == self.packet.length - 1
+
+    def __repr__(self) -> str:
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return f"Flit({kind}#{self.packet.pid}.{self.index})"

@@ -1,0 +1,343 @@
+"""Cycle-accurate wormhole NoC simulator.
+
+This is the reproduction's stand-in for the paper's cycle-accurate
+SystemC simulation of the generated xpipes design (Sections 6.2 and 6.4):
+input-buffered switches, credit-based flow control, round-robin output
+arbitration, wormhole switching, and two virtual channels with dateline
+VC switching on torus/ring wrap links (the classic deadlock-free
+configuration).
+
+Timing model: one cycle per switch traversal (arbitrate + crossbar), a
+configurable link latency, one flit per cycle per channel. All state
+advances via events scheduled strictly into future cycles, so results do
+not depend on iteration order within a cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from random import Random
+
+from repro.errors import SimulationError
+from repro.simulation.flit import Flit, Packet
+from repro.simulation.routes import RouteTable
+from repro.topology.base import Topology, is_switch, is_term, term
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulator parameters.
+
+    Attributes:
+        packet_length_flits: flits per packet (header + body + tail).
+        buffer_depth_flits: input FIFO depth per virtual channel.
+        link_latency: cycles a flit spends on a link.
+        switch_latency: pipeline cycles through a switch (arbitration +
+            crossbar traversal).
+        num_vcs: virtual channels per physical link (2 supports the
+            torus dateline scheme).
+        seed: RNG seed (adaptive Clos middle choice, traffic).
+    """
+
+    packet_length_flits: int = 8
+    buffer_depth_flits: int = 8
+    link_latency: int = 1
+    switch_latency: int = 1
+    num_vcs: int = 2
+    seed: int = 1
+
+    def __post_init__(self):
+        if self.packet_length_flits < 1:
+            raise SimulationError("packets need at least one flit")
+        if self.buffer_depth_flits < 1:
+            raise SimulationError("buffers need at least one flit slot")
+        if self.link_latency < 1:
+            raise SimulationError("link latency must be >= 1 cycle")
+        if self.switch_latency < 0:
+            raise SimulationError("switch latency cannot be negative")
+        if self.num_vcs < 1:
+            raise SimulationError("need at least one virtual channel")
+
+
+class _InputBuffer:
+    """Per-(link, VC) input FIFO with the head packet's route request."""
+
+    __slots__ = ("queue", "request")
+
+    def __init__(self):
+        self.queue: deque[Flit] = deque()
+        self.request = None  # (out_edge, out_vc) for the head packet
+
+
+class _Output:
+    """Per-(link, VC) output state: wormhole lock, credits, RR pointer."""
+
+    __slots__ = ("owner", "owner_pid", "credits", "rr")
+
+    def __init__(self, credits: int):
+        self.owner = None  # input key currently holding the channel
+        self.owner_pid = -1
+        self.credits = credits
+        self.rr = 0
+
+
+_INFINITE_CREDITS = 1 << 30
+
+
+class Network:
+    """A simulatable NoC instance.
+
+    Args:
+        topology: any library topology.
+        config: simulator parameters.
+        active_slots: terminal slots hosting traffic endpoints (defaults
+            to all slots; pass the mapped slots for trace-driven runs).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: SimConfig | None = None,
+        active_slots: list[int] | None = None,
+    ):
+        self.topology = topology
+        self.config = config or SimConfig()
+        self.active_slots = (
+            list(range(topology.num_slots))
+            if active_slots is None
+            else sorted(active_slots)
+        )
+        self.rng = Random(self.config.seed)
+        self.routes = RouteTable(topology, self.active_slots)
+
+        graph = topology.graph
+        self._wrap_edges = {
+            (u, v)
+            for u, v, d in graph.edges(data=True)
+            if d.get("wrap", False)
+        }
+        # Input buffers exist at the downstream end of every edge whose
+        # head is a switch; terminal ejection consumes flits immediately.
+        self.inputs: dict[tuple, _InputBuffer] = {}
+        self.outputs: dict[tuple, _Output] = {}
+        self.switch_inputs: dict[tuple, list[tuple]] = {
+            sw: [] for sw in topology.switches
+        }
+        for u, v in graph.edges():
+            for vc in range(self.config.num_vcs):
+                key = ((u, v), vc)
+                if is_switch(v):
+                    self.inputs[key] = _InputBuffer()
+                    self.switch_inputs[v].append(key)
+                credits = (
+                    self.config.buffer_depth_flits
+                    if is_switch(v)
+                    else _INFINITE_CREDITS
+                )
+                self.outputs[key] = _Output(credits)
+
+        self.source_queues: dict[int, deque[Flit]] = {
+            s: deque() for s in self.active_slots
+        }
+        self._inject_edge = {
+            s: (term(s), topology.switch_of(s)) for s in self.active_slots
+        }
+
+        self.cycle = 0
+        self._arrivals: dict[int, list] = {}
+        self._credit_returns: dict[int, list] = {}
+        self._busy_switches: set = set()
+
+        self.delivered: list[Packet] = []
+        self.packets: list[Packet] = []  # every packet ever created
+        self.injected_packets = 0
+        self.injected_flits = 0
+        self.ejected_flits = 0
+        self._next_pid = 0
+        self._in_flight = 0
+
+    # ------------------------------------------------------------------
+    # traffic entry point
+    # ------------------------------------------------------------------
+    def create_packet(self, src_slot: int, dst_slot: int) -> Packet:
+        """Queue a new packet at a source terminal."""
+        if src_slot == dst_slot:
+            raise SimulationError("packet source equals destination")
+        if src_slot not in self.source_queues:
+            raise SimulationError(f"slot {src_slot} is not active")
+        packet = Packet(
+            pid=self._next_pid,
+            src=src_slot,
+            dst=dst_slot,
+            length=self.config.packet_length_flits,
+            created=self.cycle,
+        )
+        self._next_pid += 1
+        self.source_queues[src_slot].extend(packet.flits())
+        self.packets.append(packet)
+        self.injected_packets += 1
+        self._in_flight += 1
+        return packet
+
+    @property
+    def in_flight(self) -> int:
+        """Packets created but not yet fully ejected."""
+        return self._in_flight
+
+    # ------------------------------------------------------------------
+    # cycle loop
+    # ------------------------------------------------------------------
+    def step(self, traffic=None) -> None:
+        """Advance one cycle."""
+        self.cycle += 1
+        self._deliver_arrivals()
+        self._apply_credit_returns()
+        self._process_switches()
+        self._inject()
+        if traffic is not None:
+            traffic(self)
+
+    def run(self, cycles: int, traffic=None) -> None:
+        for _ in range(cycles):
+            self.step(traffic)
+
+    def drain(self, max_cycles: int = 100000) -> bool:
+        """Run without new traffic until every packet is delivered."""
+        for _ in range(max_cycles):
+            if self._in_flight == 0:
+                return True
+            self.step(None)
+        return self._in_flight == 0
+
+    # ------------------------------------------------------------------
+    def _schedule_arrival(self, when: int, key: tuple, flit: Flit) -> None:
+        self._arrivals.setdefault(when, []).append((key, flit))
+
+    def _schedule_credit(self, when: int, key: tuple) -> None:
+        self._credit_returns.setdefault(when, []).append(key)
+
+    def _deliver_arrivals(self) -> None:
+        events = self._arrivals.pop(self.cycle, None)
+        if not events:
+            return
+        for (edge, vc), flit in events:
+            head, dest = edge
+            if is_term(dest):
+                self.ejected_flits += 1
+                if flit.is_tail:
+                    flit.packet.ejected = self.cycle
+                    self.delivered.append(flit.packet)
+                    self._in_flight -= 1
+                continue
+            self.inputs[(edge, vc)].queue.append(flit)
+            self._busy_switches.add(dest)
+
+    def _apply_credit_returns(self) -> None:
+        events = self._credit_returns.pop(self.cycle, None)
+        if not events:
+            return
+        for key in events:
+            self.outputs[key].credits += 1
+
+    def _out_vc(self, in_vc: int, edge: tuple) -> int:
+        """Dateline VC selection: once on VC1 (or crossing a wrap link),
+        stay on VC1."""
+        if self.config.num_vcs == 1:
+            return 0
+        if in_vc >= 1 or edge in self._wrap_edges:
+            return 1
+        return 0
+
+    def _process_switches(self) -> None:
+        config = self.config
+        still_busy = set()
+        # Sorted iteration: set order depends on string hashing, which is
+        # randomized per process; the RNG draws below (adaptive middle
+        # choice) must consume in a reproducible order.
+        for sw in sorted(self._busy_switches, key=repr):
+            inputs = self.switch_inputs[sw]
+            any_flits = False
+            # Phase A: collect route requests of head flits.
+            requests: dict[tuple, list] = {}
+            for ikey in inputs:
+                ib = self.inputs[ikey]
+                if not ib.queue:
+                    continue
+                any_flits = True
+                flit = ib.queue[0]
+                if flit.is_head:
+                    if ib.request is None:
+                        nxt = self.routes.next_hop(
+                            sw, flit.packet.dst, self.rng
+                        )
+                        out_edge = (sw, nxt)
+                        ib.request = (out_edge, self._out_vc(ikey[1], out_edge))
+                    out = self.outputs[ib.request]
+                    if out.owner is None:
+                        requests.setdefault(ib.request, []).append(ikey)
+            # Phase B: arbitration (round-robin over requesting inputs).
+            for okey, askers in requests.items():
+                out = self.outputs[okey]
+                if out.owner is not None:
+                    continue
+                winner = askers[out.rr % len(askers)]
+                out.rr += 1
+                out.owner = winner
+                out.owner_pid = self.inputs[winner].queue[0].packet.pid
+            # Phase C: forward one flit per locked output with credit.
+            for ikey in inputs:
+                ib = self.inputs[ikey]
+                if not ib.queue:
+                    continue
+                okey = ib.request
+                if okey is None:
+                    continue
+                out = self.outputs[okey]
+                if out.owner != ikey or out.credits <= 0:
+                    continue
+                flit = ib.queue[0]
+                if flit.packet.pid != out.owner_pid:
+                    continue  # next packet must re-arbitrate
+                ib.queue.popleft()
+                out.credits -= 1
+                self._schedule_arrival(
+                    self.cycle + config.link_latency + config.switch_latency,
+                    (okey[0], okey[1]),
+                    flit,
+                )
+                # Return a credit upstream for the slot we just freed.
+                self._schedule_credit(self.cycle + 1, ikey)
+                if flit.is_tail:
+                    out.owner = None
+                    out.owner_pid = -1
+                    ib.request = None
+            if any_flits:
+                still_busy.add(sw)
+        self._busy_switches = still_busy
+
+    def _inject(self) -> None:
+        for slot in self.active_slots:
+            queue = self.source_queues[slot]
+            if not queue:
+                continue
+            edge = self._inject_edge[slot]
+            okey = (edge, 0)
+            out = self.outputs[okey]
+            flit = queue[0]
+            if flit.is_head and out.owner is None:
+                out.owner = "src"
+                out.owner_pid = flit.packet.pid
+            if out.owner != "src" or out.owner_pid != flit.packet.pid:
+                continue
+            if out.credits <= 0:
+                continue
+            queue.popleft()
+            out.credits -= 1
+            self.injected_flits += 1
+            self._schedule_arrival(
+                self.cycle + self.config.link_latency, (edge, 0), flit
+            )
+            if flit.is_tail:
+                out.owner = None
+                out.owner_pid = -1

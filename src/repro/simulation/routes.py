@@ -1,0 +1,71 @@
+"""Routing tables for the simulator.
+
+Deterministic, deadlock-safe next-hop tables per (node, destination slot):
+
+* mesh / torus / hypercube / butterfly / star use their dimension-ordered
+  (or unique) paths — the classic deadlock-free choices (torus and ring
+  wrap links additionally switch packets to VC 1, the dateline scheme);
+* Clos ingress switches hold *all* middle switches as candidates and the
+  simulator picks one per packet (randomly, seeded) — the path diversity
+  that Section 6.2's experiment rewards;
+* anything else falls back to all shortest-path next hops.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import UnsupportedRoutingError
+from repro.topology.base import Topology, is_term, term
+
+
+class RouteTable:
+    """Per-(node, destination) candidate next hops."""
+
+    def __init__(self, topology: Topology, slots: list[int] | None = None):
+        self.topology = topology
+        self.slots = list(range(topology.num_slots)) if slots is None else slots
+        self._table: dict[tuple, tuple] = {}
+        self._build()
+
+    def _build(self) -> None:
+        candidates: dict[tuple, set] = {}
+        for dst in self.slots:
+            for src in self.slots:
+                if src == dst:
+                    continue
+                for path in self._paths(src, dst):
+                    for a, b in zip(path, path[1:]):
+                        if is_term(a):
+                            continue  # injection handled by the terminal
+                        candidates.setdefault((a, term(dst)), set()).add(b)
+        self._table = {
+            key: tuple(sorted(nexts, key=repr))
+            for key, nexts in candidates.items()
+        }
+
+    def _paths(self, src: int, dst: int):
+        try:
+            yield self.topology.dor_path(src, dst)
+            return
+        except UnsupportedRoutingError:
+            pass
+        yield from nx.all_shortest_paths(
+            self.topology.graph, term(src), term(dst)
+        )
+
+    def candidates(self, node, dst_slot: int) -> tuple:
+        """All legal next hops from ``node`` toward ``dst_slot``."""
+        try:
+            return self._table[(node, term(dst_slot))]
+        except KeyError:
+            raise UnsupportedRoutingError(
+                f"no route from {node} to slot {dst_slot}"
+            ) from None
+
+    def next_hop(self, node, dst_slot: int, rng) -> tuple:
+        """Pick one next hop; random among candidates when diverse."""
+        options = self.candidates(node, dst_slot)
+        if len(options) == 1:
+            return options[0]
+        return options[rng.randrange(len(options))]

@@ -1,0 +1,114 @@
+"""Measurement harness and statistics for simulator runs."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.simulation.network import Network, SimConfig
+from repro.topology.base import Topology
+
+
+@dataclass(frozen=True)
+class SimReport:
+    """Outcome of one measured simulation run.
+
+    Latency statistics cover packets *created inside the measurement
+    window* that were delivered before the run ended; ``delivered_fraction``
+    reveals saturation (undelivered packets accumulating).
+    """
+
+    cycles: int
+    offered_rate: float
+    measured_packets: int
+    delivered_fraction: float
+    avg_latency: float
+    p95_latency: float
+    min_latency: float
+    throughput_flits_per_cycle: float
+
+    def saturated(self, threshold: float = 0.9) -> bool:
+        """True when fewer than ``threshold`` of measured packets made it."""
+        return self.delivered_fraction < threshold
+
+
+def run_measurement(
+    topology: Topology,
+    traffic,
+    config: SimConfig | None = None,
+    warmup: int = 2000,
+    measure: int = 8000,
+    drain: int = 4000,
+    active_slots: list[int] | None = None,
+    offered_rate: float = 0.0,
+) -> SimReport:
+    """Warmup / measure / drain simulation protocol.
+
+    Args:
+        traffic: per-cycle generator callable.
+        warmup: cycles before measurement starts (fills pipelines).
+        measure: cycles during which created packets are tracked.
+        drain: extra cycles (without tracking new packets) letting
+            measured packets reach their destinations.
+    """
+    network = Network(topology, config=config, active_slots=active_slots)
+    network.run(warmup, traffic)
+    start = network.cycle
+    network.run(measure, traffic)
+    end = network.cycle
+    network.run(drain, traffic)
+
+    created = [p for p in network.packets if start <= p.created < end]
+    window = [p for p in created if p.ejected is not None]
+    latencies = [p.latency for p in window]
+    ejected_rate = network.ejected_flits / max(1, network.cycle)
+    return SimReport(
+        cycles=network.cycle,
+        offered_rate=offered_rate,
+        measured_packets=len(window),
+        delivered_fraction=(len(window) / len(created)) if created else 1.0,
+        avg_latency=statistics.fmean(latencies) if latencies else float("inf"),
+        p95_latency=_quantile(latencies, 0.95) if latencies else float("inf"),
+        min_latency=min(latencies) if latencies else float("inf"),
+        throughput_flits_per_cycle=ejected_rate,
+    )
+
+
+def latency_vs_injection(
+    topology: Topology,
+    rates: list[float],
+    pattern: str = "bit_complement",
+    config: SimConfig | None = None,
+    warmup: int = 2000,
+    measure: int = 8000,
+    drain: int = 4000,
+    active_slots: list[int] | None = None,
+    traffic_seed: int = 7,
+) -> list[SimReport]:
+    """Average packet latency across injection rates (Figure 8(b))."""
+    from repro.simulation.traffic import SyntheticTraffic
+
+    reports = []
+    for rate in rates:
+        traffic = SyntheticTraffic(pattern, rate, seed=traffic_seed)
+        reports.append(
+            run_measurement(
+                topology,
+                traffic,
+                config=config,
+                warmup=warmup,
+                measure=measure,
+                drain=drain,
+                active_slots=active_slots,
+                offered_rate=rate,
+            )
+        )
+    return reports
+
+
+def _quantile(values: list, q: float) -> float:
+    data = sorted(values)
+    if not data:
+        return float("nan")
+    idx = min(len(data) - 1, int(q * len(data)))
+    return float(data[idx])

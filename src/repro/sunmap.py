@@ -1,0 +1,148 @@
+"""The three-phase SUNMAP flow (Figure 4).
+
+``run_sunmap`` drives the whole tool exactly as the paper describes:
+
+1. **Mapping**: for a chosen routing function and objective, map the
+   application onto every topology in the library, checking bandwidth
+   and area constraints with floorplan-backed estimates;
+2. **Selection**: compare the feasible mappings and choose the best
+   topology. If no topology is feasible under the requested routing
+   (MPEG4 under minimum-path, Section 6.1), the flow falls back to the
+   next routing function in ``routing_fallbacks`` — "So we apply
+   multi-path routing, splitting the traffic across many paths";
+3. **Generation**: build the xpipes netlist of the winner and emit its
+   SystemC description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constraints import Constraints
+from repro.core.coregraph import CoreGraph
+from repro.core.evaluate import MappingEvaluation
+from repro.core.mapper import MapperConfig
+from repro.core.selector import SelectionResult, select_topology
+from repro.errors import MappingInfeasibleError
+from repro.physical.estimate import NetworkEstimator
+from repro.topology.base import Topology
+from repro.xpipes.generator import generate_systemc
+from repro.xpipes.netlist import Netlist, build_netlist
+
+#: Routing escalation order: deterministic first, then splitting.
+DEFAULT_ROUTING_FALLBACKS = ("SM", "SA")
+
+
+@dataclass
+class SunmapReport:
+    """Everything the flow produced."""
+
+    application: str
+    selection: SelectionResult
+    attempted_routings: list[str]
+    netlist: Netlist | None = None
+    systemc: str | None = None
+
+    @property
+    def best(self) -> MappingEvaluation | None:
+        return self.selection.best
+
+    @property
+    def best_topology_name(self) -> str | None:
+        return self.selection.best_name
+
+    def summary(self) -> str:
+        lines = [
+            f"application: {self.application}",
+            f"objective:   {self.selection.objective_name}",
+            f"routing:     {self.selection.routing_code} "
+            f"(attempted: {', '.join(self.attempted_routings)})",
+            self.selection.format_table(),
+        ]
+        best = self.best
+        if best is None:
+            lines.append("result: NO FEASIBLE TOPOLOGY")
+        else:
+            lines.append(
+                f"result: {self.best_topology_name} selected "
+                f"(cost {best.cost:.3f})"
+            )
+            if self.netlist is not None:
+                lines.append(
+                    f"generated: {len(self.netlist.switches)} switches, "
+                    f"{len(self.netlist.nis)} NIs, "
+                    f"{len(self.netlist.links)} links"
+                )
+        return "\n".join(lines)
+
+
+def run_sunmap(
+    core_graph: CoreGraph,
+    routing: str = "MP",
+    objective: str = "hops",
+    constraints: Constraints | None = None,
+    topologies: list[Topology] | None = None,
+    config: MapperConfig | None = None,
+    estimator: NetworkEstimator | None = None,
+    generate: bool = True,
+    routing_fallbacks: tuple[str, ...] = DEFAULT_ROUTING_FALLBACKS,
+) -> SunmapReport:
+    """Run the full SUNMAP flow on an application.
+
+    Args:
+        routing: first routing function to try (paper code DO/MP/SM/SA).
+        routing_fallbacks: escalation sequence when nothing is feasible.
+        generate: emit the winner's netlist and SystemC (phase 3).
+
+    Raises:
+        MappingInfeasibleError: when no topology is feasible under any
+            attempted routing function.
+    """
+    estimator = estimator or NetworkEstimator()
+    attempted: list[str] = []
+    selection: SelectionResult | None = None
+    for code in (routing, *[c for c in routing_fallbacks if c != routing]):
+        attempted.append(code)
+        selection = select_topology(
+            core_graph,
+            topologies=topologies,
+            routing=code,
+            objective=objective,
+            constraints=constraints,
+            estimator=estimator,
+            config=config,
+        )
+        if selection.best is not None:
+            break
+
+    report = SunmapReport(
+        application=core_graph.name,
+        selection=selection,
+        attempted_routings=attempted,
+    )
+    best = selection.best
+    if best is None:
+        if generate:
+            raise MappingInfeasibleError(
+                f"{core_graph.name}: no feasible topology under any of "
+                f"{attempted}"
+            )
+        return report
+
+    if generate:
+        lengths = (
+            best.floorplan.link_lengths(best.topology, best.assignment)
+            if best.floorplan is not None
+            else None
+        )
+        used = estimator.used_switches(best.topology, best.routing_result)
+        report.netlist = build_netlist(
+            core_graph,
+            best.topology,
+            best.assignment,
+            lengths_mm=lengths,
+            used_switches=used,
+            tech=estimator.tech,
+        )
+        report.systemc = generate_systemc(report.netlist, best.topology)
+    return report

@@ -1,0 +1,53 @@
+"""NoC topology library: graphs, quadrants, geometry (paper Sections 4.2/4.3)."""
+
+from repro.topology.base import (
+    ResourceSummary,
+    Topology,
+    is_switch,
+    is_term,
+    switch,
+    term,
+)
+from repro.topology.butterfly import ButterflyTopology
+from repro.topology.clos import ClosTopology
+from repro.topology.custom import CustomTopology
+from repro.topology.hypercube import HypercubeTopology
+from repro.topology.library import (
+    EXTENSION_NAMES,
+    STANDARD_NAMES,
+    available_topologies,
+    extended_library,
+    make_topology,
+    register_topology,
+    standard_library,
+)
+from repro.topology.mesh import MeshTopology
+from repro.topology.octagon import OctagonTopology
+from repro.topology.ring import RingTopology
+from repro.topology.star import StarTopology
+from repro.topology.torus import TorusTopology
+
+__all__ = [
+    "ResourceSummary",
+    "Topology",
+    "term",
+    "switch",
+    "is_term",
+    "is_switch",
+    "CustomTopology",
+    "MeshTopology",
+    "TorusTopology",
+    "HypercubeTopology",
+    "ClosTopology",
+    "ButterflyTopology",
+    "OctagonTopology",
+    "StarTopology",
+    "RingTopology",
+    "STANDARD_NAMES",
+    "EXTENSION_NAMES",
+    "make_topology",
+    "register_topology",
+    "available_topologies",
+    "standard_library",
+    "extended_library",
+]

@@ -1,0 +1,323 @@
+"""NoC topology graphs (Definition 2 of the paper).
+
+A topology is modeled as a directed :class:`networkx.DiGraph` with two node
+kinds:
+
+* ``("term", i)`` — *terminal slot* ``i``; cores are mapped onto terminal
+  slots (the vertices ``U`` of the paper's topology graph ``P(U, F)``).
+* ``("sw", key)`` — a switch; ``key`` is topology-specific (an integer for
+  direct topologies, a ``(stage, index)`` pair for multistage ones).
+
+Edges carry two attributes:
+
+* ``kind`` — ``"core"`` for terminal<->switch links, ``"net"`` for
+  switch<->switch links;
+* ``length`` — nominal physical length in units of one tile pitch, used by
+  the floorplan-free estimators (the LP floorplanner supersedes it when
+  exact positions are available).
+
+Hop-delay convention (matches the paper): the delay of a route is the
+**number of switches it traverses**. Two adjacent mesh cores communicate in
+2 hops (their two switches); every pair on a k-ary 2-fly butterfly is 2
+hops; every pair on a 3-stage Clos is 3 hops.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from itertools import islice
+
+import networkx as nx
+
+from repro.errors import TopologyError, UnsupportedRoutingError
+
+TERM = "term"
+SW = "sw"
+
+#: Nominal length (tile pitches) of a core-to-switch link.
+CORE_LINK_LENGTH = 0.5
+
+#: Cap used when counting distinct shortest paths (path diversity).
+MAX_DIVERSITY = 64
+
+
+def term(i: int) -> tuple[str, int]:
+    """Graph node id for terminal slot ``i``."""
+    return (TERM, i)
+
+
+def switch(key) -> tuple[str, object]:
+    """Graph node id for a switch identified by ``key``."""
+    return (SW, key)
+
+
+def is_term(node) -> bool:
+    return node[0] == TERM
+
+
+def is_switch(node) -> bool:
+    return node[0] == SW
+
+
+@dataclass(frozen=True)
+class ResourceSummary:
+    """Switch/link counts for a topology instance (Figure 6(b) metric).
+
+    Link counting convention (documented in DESIGN.md): bidirectional
+    channel pairs of direct topologies count once; the inherently
+    unidirectional channels of multistage topologies count individually.
+    Core (terminal) links are included.
+    """
+
+    num_switches: int
+    num_links: int
+    switch_ports: dict
+
+
+class Topology(ABC):
+    """Abstract NoC topology.
+
+    Subclasses implement :meth:`_build` (the graph), :attr:`num_slots`, and
+    override :meth:`quadrant_nodes` / :meth:`dor_path` where the paper
+    defines topology-specific behaviour (Sections 4.2 and 4.3).
+    """
+
+    #: "direct" (one core per switch) or "indirect" (multistage).
+    kind = "direct"
+
+    #: Whether bandwidth constraints also apply to terminal<->switch links.
+    #: Off by default (see DESIGN.md: the paper's MPEG4 results require NI
+    #: links to be unconstrained); topologies whose core links *are* the
+    #: network (e.g. star) turn it on.
+    constrain_core_links = False
+
+    def __init__(self, name: str):
+        self.name = name
+        self._graph: nx.DiGraph | None = None
+        self._dist_cache: dict | None = None
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The (lazily built) topology graph."""
+        if self._graph is None:
+            self._graph = self._build()
+            self._annotate_lengths(self._graph)
+        return self._graph
+
+    @abstractmethod
+    def _build(self) -> nx.DiGraph:
+        """Construct the topology graph."""
+
+    @property
+    @abstractmethod
+    def num_slots(self) -> int:
+        """Number of terminal slots (``|U|``)."""
+
+    def fits(self, n_cores: int) -> bool:
+        """Whether a core graph with ``n_cores`` cores is mappable."""
+        return n_cores <= self.num_slots
+
+    @property
+    def terminals(self) -> list:
+        return [term(i) for i in range(self.num_slots)]
+
+    @property
+    def switches(self) -> list:
+        return [n for n in self.graph.nodes if is_switch(n)]
+
+    def net_edges(self) -> list:
+        """All switch-to-switch directed edges."""
+        return [
+            (u, v)
+            for u, v, d in self.graph.edges(data=True)
+            if d["kind"] == "net"
+        ]
+
+    def core_edges(self) -> list:
+        """All terminal<->switch directed edges."""
+        return [
+            (u, v)
+            for u, v, d in self.graph.edges(data=True)
+            if d["kind"] == "core"
+        ]
+
+    def switch_ports(self, sw) -> tuple[int, int]:
+        """(input ports, output ports) of a switch, core ports included."""
+        g = self.graph
+        return (g.in_degree(sw), g.out_degree(sw))
+
+    def switch_of(self, slot: int):
+        """The switch a terminal injects into (first hop)."""
+        for _, v in self.graph.out_edges(term(slot)):
+            if is_switch(v):
+                return v
+        raise TopologyError(f"terminal {slot} has no attached switch")
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def position(self, node) -> tuple[float, float]:
+        """Abstract (x, y) placement of a node in tile-pitch units."""
+
+    def _annotate_lengths(self, g: nx.DiGraph) -> None:
+        """Set the ``length`` attribute of every edge from node positions."""
+        for u, v, d in g.edges(data=True):
+            if "length" in d:
+                continue
+            if d["kind"] == "core":
+                d["length"] = CORE_LINK_LENGTH
+            else:
+                xu, yu = self.position(u)
+                xv, yv = self.position(v)
+                d["length"] = max(abs(xu - xv) + abs(yu - yv), CORE_LINK_LENGTH)
+
+    # ------------------------------------------------------------------
+    # distances and paths
+    # ------------------------------------------------------------------
+    def hop_distance(self, src_slot: int, dst_slot: int) -> int:
+        """Minimum number of switches between two terminal slots."""
+        if src_slot == dst_slot:
+            return 0
+        dist = self._slot_distances()
+        try:
+            return dist[src_slot][dst_slot]
+        except KeyError:
+            raise TopologyError(
+                f"no path between slots {src_slot} and {dst_slot}"
+            ) from None
+
+    def _slot_distances(self) -> dict[int, dict[int, int]]:
+        if self._dist_cache is None:
+            self._dist_cache = {}
+            for i in range(self.num_slots):
+                lengths = nx.single_source_shortest_path_length(
+                    self.graph, term(i)
+                )
+                # Edges on a term->term path exceed switch count by one.
+                self._dist_cache[i] = {
+                    j: lengths[term(j)] - 1
+                    for j in range(self.num_slots)
+                    if j != i and term(j) in lengths
+                }
+        return self._dist_cache
+
+    def quadrant_nodes(self, src_slot: int, dst_slot: int) -> set | None:
+        """Nodes of the quadrant graph for a commodity (Section 4.3).
+
+        Returns a set of graph nodes guaranteed to contain at least one
+        minimum path from ``term(src_slot)`` to ``term(dst_slot)``, or
+        ``None`` to mean "the entire topology graph" (the trivial case,
+        e.g. Clos networks).
+        """
+        return None
+
+    def quadrant_subgraph(self, src_slot: int, dst_slot: int) -> nx.DiGraph:
+        """The quadrant graph as a subgraph view (whole graph if trivial)."""
+        nodes = self.quadrant_nodes(src_slot, dst_slot)
+        if nodes is None:
+            return self.graph
+        nodes = set(nodes) | {term(src_slot), term(dst_slot)}
+        return self.graph.subgraph(nodes)
+
+    def dor_path(self, src_slot: int, dst_slot: int) -> list:
+        """Dimension-ordered route between two slots, as a node list.
+
+        Only defined for topologies with dimensions (mesh, torus,
+        hypercube); multistage and irregular topologies raise
+        :class:`UnsupportedRoutingError`.
+        """
+        raise UnsupportedRoutingError(
+            f"dimension-ordered routing is undefined for {self.name}"
+        )
+
+    def path_diversity(self, src_slot: int, dst_slot: int) -> int:
+        """Number of distinct minimum paths (capped at MAX_DIVERSITY)."""
+        if src_slot == dst_slot:
+            return 0
+        paths = nx.all_shortest_paths(self.graph, term(src_slot), term(dst_slot))
+        return sum(1 for _ in islice(paths, MAX_DIVERSITY))
+
+    # ------------------------------------------------------------------
+    # resource accounting
+    # ------------------------------------------------------------------
+    def resource_summary(
+        self, routes: list | None = None, mapped_slots: list | None = None
+    ) -> ResourceSummary:
+        """Count switches and links (Figure 6(b) resource metric).
+
+        Args:
+            routes: optional list of node paths in use; multistage
+                topologies prune switches that appear on no route (the
+                paper's DSP butterfly keeps 4 of 6 switches, Fig. 10(b)).
+            mapped_slots: terminal slots actually occupied by cores; used
+                to count core links. Defaults to all slots.
+        """
+        g = self.graph
+        if mapped_slots is None:
+            mapped_slots = list(range(self.num_slots))
+        mapped = set(mapped_slots)
+
+        if self.kind == "direct":
+            used_switches = set(self.switches)
+            seen = set()
+            net_links = 0
+            for u, v in self.net_edges():
+                if (v, u) in seen:
+                    continue
+                seen.add((u, v))
+                net_links += 1
+            core_links = len(mapped)
+        else:
+            if routes:
+                used_switches = {
+                    n for path in routes for n in path if is_switch(n)
+                }
+                # Keep switches feeding/draining mapped terminals even if a
+                # degenerate route list missed them.
+                for s in mapped:
+                    used_switches.add(self.switch_of(s))
+            else:
+                used_switches = set(self.switches)
+            net_links = sum(
+                1
+                for u, v in self.net_edges()
+                if u in used_switches and v in used_switches
+            )
+            core_links = 2 * len(mapped)  # one injection + one ejection link
+
+        ports = {sw: self.switch_ports(sw) for sw in sorted(used_switches)}
+        return ResourceSummary(
+            num_switches=len(used_switches),
+            num_links=net_links + core_links,
+            switch_ports=ports,
+        )
+
+    def validate(self) -> None:
+        """Structural sanity checks; raises :class:`TopologyError`."""
+        g = self.graph
+        for i in range(self.num_slots):
+            if term(i) not in g:
+                raise TopologyError(f"{self.name}: missing terminal {i}")
+        for u, v, d in g.edges(data=True):
+            if d.get("kind") not in ("core", "net"):
+                raise TopologyError(f"{self.name}: edge {u}->{v} lacks kind")
+            if is_term(u) and is_term(v):
+                raise TopologyError(
+                    f"{self.name}: terminals {u}->{v} directly connected"
+                )
+        # Every terminal must reach every other terminal.
+        for i in range(min(self.num_slots, 4)):
+            reach = nx.descendants(g, term(i))
+            for j in range(self.num_slots):
+                if j != i and term(j) not in reach:
+                    raise TopologyError(
+                        f"{self.name}: slot {j} unreachable from slot {i}"
+                    )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, slots={self.num_slots})"

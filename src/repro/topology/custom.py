@@ -1,0 +1,112 @@
+"""User-defined heterogeneous/irregular topologies.
+
+The paper's conclusions name "automatic heterogeneous topology modeling"
+as future work; this module supplies the modeling half: an arbitrary
+switch fabric — any switch sizes, any connectivity, several cores
+concentrated on one switch — described explicitly and dropped into the
+same mapping/selection/generation machinery as the library topologies.
+
+Example — two 5-port hub switches bridged by a double link::
+
+    topo = CustomTopology(
+        name="dual-hub",
+        slot_switch=[0, 0, 0, 0, 1, 1, 1, 1],   # slots 0-3 on hub 0
+        links=[(0, 1), (0, 1)],                  # parallel bridge links
+    )
+
+Quadrant graphs degenerate to the whole fabric (Section 4.3's
+constructions are topology-specific), so minimum-path search stays
+correct, just unpruned. Dimension-ordered routing is undefined.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.topology.base import Topology, switch, term
+
+
+class CustomTopology(Topology):
+    """An explicit, possibly heterogeneous, switch fabric.
+
+    Args:
+        name: topology name (also used in selection tables).
+        slot_switch: for each terminal slot, the integer id of the
+            switch its core attaches to (bidirectionally). Several slots
+            may share a switch (concentration).
+        links: switch-id pairs; each entry creates one bidirectional
+            channel. Repeated pairs create parallel channels — modeled
+            as a single fatter link (loads merge), so they are collapsed
+            with a warning-free union here.
+        positions: optional ``{switch_id: (x, y)}`` placement in tile
+            pitches; defaults to a near-square grid in id order.
+    """
+
+    kind = "direct"
+
+    def __init__(
+        self,
+        name: str,
+        slot_switch: list[int],
+        links: list[tuple[int, int]],
+        positions: dict[int, tuple[float, float]] | None = None,
+    ):
+        if not slot_switch:
+            raise TopologyError("custom topology needs at least one slot")
+        if len(slot_switch) < 2:
+            raise TopologyError("custom topology needs at least two slots")
+        self._slot_switch = list(slot_switch)
+        self._switch_ids = sorted(set(slot_switch) | {
+            s for pair in links for s in pair
+        })
+        for a, b in links:
+            if a == b:
+                raise TopologyError(f"self-link on switch {a}")
+        self._links = [tuple(sorted(pair)) for pair in links]
+        self._positions = dict(positions or {})
+        if not self._positions:
+            side = max(1, math.ceil(math.sqrt(len(self._switch_ids))))
+            for idx, sid in enumerate(self._switch_ids):
+                self._positions[sid] = (float(idx % side), float(idx // side))
+        missing = [s for s in self._switch_ids if s not in self._positions]
+        if missing:
+            raise TopologyError(f"switches without positions: {missing}")
+        super().__init__(name)
+        self.validate_connectivity()
+
+    @property
+    def num_slots(self) -> int:
+        return len(self._slot_switch)
+
+    def concentration(self) -> dict[int, int]:
+        """Cores per switch (heterogeneity summary)."""
+        return dict(Counter(self._slot_switch))
+
+    def _build(self) -> nx.DiGraph:
+        g = nx.DiGraph(name=self.name)
+        for slot, sid in enumerate(self._slot_switch):
+            g.add_edge(term(slot), switch(sid), kind="core")
+            g.add_edge(switch(sid), term(slot), kind="core")
+        for a, b in set(self._links):
+            g.add_edge(switch(a), switch(b), kind="net")
+            g.add_edge(switch(b), switch(a), kind="net")
+        return g
+
+    def position(self, node) -> tuple[float, float]:
+        if node[0] == "term":
+            return self._positions[self._slot_switch[node[1]]]
+        return self._positions[node[1]]
+
+    def validate_connectivity(self) -> None:
+        """Every slot must reach every other slot."""
+        g = self.graph
+        reach = nx.descendants(g, term(0))
+        for slot in range(1, self.num_slots):
+            if term(slot) not in reach:
+                raise TopologyError(
+                    f"{self.name}: slot {slot} unreachable from slot 0"
+                )

@@ -1,0 +1,82 @@
+"""Topology library and registry (the paper's "Topo Lib", Figure 4).
+
+The registry maps topology names to factory functions accepting a core
+count. ``standard_library`` instantiates the five topologies evaluated in
+the paper; ``extended_library`` adds the "easily added" extensions
+(octagon, star, ring) the paper mentions in Section 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import TopologyError
+from repro.topology.base import Topology
+from repro.topology.butterfly import ButterflyTopology
+from repro.topology.clos import ClosTopology
+from repro.topology.hypercube import HypercubeTopology
+from repro.topology.mesh import MeshTopology
+from repro.topology.octagon import OctagonTopology
+from repro.topology.ring import RingTopology
+from repro.topology.star import StarTopology
+from repro.topology.torus import TorusTopology
+
+#: The five topologies the paper evaluates (Sections 1 and 6).
+STANDARD_NAMES = ("mesh", "torus", "hypercube", "clos", "butterfly")
+
+#: Extensions demonstrating Section 1's "other topologies can be easily
+#: added to the topology library".
+EXTENSION_NAMES = ("octagon", "star", "ring")
+
+_REGISTRY: dict[str, Callable[..., Topology]] = {
+    "mesh": MeshTopology.for_cores,
+    "torus": TorusTopology.for_cores,
+    "hypercube": HypercubeTopology.for_cores,
+    "clos": ClosTopology.for_cores,
+    "butterfly": ButterflyTopology.for_cores,
+    "octagon": OctagonTopology.for_cores,
+    "star": StarTopology.for_cores,
+    "ring": RingTopology.for_cores,
+}
+
+
+def register_topology(name: str, factory: Callable[..., Topology]) -> None:
+    """Add a custom topology factory to the registry.
+
+    The factory must accept ``(n_cores, **kwargs)`` and return a
+    :class:`Topology` with at least ``n_cores`` slots.
+    """
+    if name in _REGISTRY:
+        raise TopologyError(f"topology {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_topologies() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def make_topology(name: str, n_cores: int, **kwargs) -> Topology:
+    """Instantiate a registered topology sized for ``n_cores`` cores."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise TopologyError(
+            f"unknown topology {name!r}; available: {available_topologies()}"
+        ) from None
+    return factory(n_cores, **kwargs)
+
+
+def standard_library(n_cores: int) -> list[Topology]:
+    """The paper's five-entry topology library, sized for the application."""
+    return [make_topology(name, n_cores) for name in STANDARD_NAMES]
+
+
+def extended_library(n_cores: int) -> list[Topology]:
+    """Standard library plus every extension that fits ``n_cores``."""
+    topos = standard_library(n_cores)
+    for name in EXTENSION_NAMES:
+        try:
+            topos.append(make_topology(name, n_cores))
+        except TopologyError:
+            continue  # e.g. octagon with more than 8 cores
+    return topos

@@ -1,0 +1,21 @@
+"""xpipes network generation (paper phase 3, [17] and [18])."""
+
+from repro.xpipes.components import (
+    LinkSpec,
+    NISpec,
+    SwitchSpec,
+    pipeline_stages_for_length,
+)
+from repro.xpipes.generator import generate_systemc, write_systemc
+from repro.xpipes.netlist import Netlist, build_netlist
+
+__all__ = [
+    "SwitchSpec",
+    "NISpec",
+    "LinkSpec",
+    "pipeline_stages_for_length",
+    "Netlist",
+    "build_netlist",
+    "generate_systemc",
+    "write_systemc",
+]

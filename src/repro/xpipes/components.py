@@ -1,0 +1,78 @@
+"""xpipes-style component specifications (paper Section 3, [17], [18]).
+
+SUNMAP's third phase instantiates the chosen network from a library of
+composable SystemC soft macros: switches, network interfaces and links.
+These dataclasses are the parameterization of those macros; the netlist
+builder decides how many of each a design needs and the generator emits
+the SystemC text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GenerationError
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """One switch soft-macro instantiation."""
+
+    instance: str
+    n_in: int
+    n_out: int
+    flit_width_bits: int
+    buffer_depth_flits: int
+
+    def __post_init__(self):
+        if self.n_in < 1 or self.n_out < 1:
+            raise GenerationError(f"switch {self.instance}: bad port count")
+
+    @property
+    def module(self) -> str:
+        return f"xpipes_switch_{self.n_in}x{self.n_out}"
+
+
+@dataclass(frozen=True)
+class NISpec:
+    """Network interface between a core and its switch(es).
+
+    ``target_port`` / ``initiator_port`` carry OCP-style semantics: the
+    initiator side issues transactions into the network, the target side
+    receives them.
+    """
+
+    instance: str
+    core_name: str
+    flit_width_bits: int
+
+    @property
+    def module(self) -> str:
+        return "xpipes_network_interface"
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One pipelined point-to-point link."""
+
+    instance: str
+    src_instance: str
+    src_port: int
+    dst_instance: str
+    dst_port: int
+    flit_width_bits: int
+    length_mm: float
+    pipeline_stages: int
+
+    @property
+    def module(self) -> str:
+        return f"xpipes_link_p{self.pipeline_stages}"
+
+
+def pipeline_stages_for_length(length_mm: float, mm_per_stage: float = 2.0) -> int:
+    """xpipes links are pipelined to match wire delay: one repeater
+    stage per ``mm_per_stage`` of floorplanned length (latency
+    insensitivity is the xpipes architecture's defining feature)."""
+    if length_mm < 0:
+        raise GenerationError("link length cannot be negative")
+    return max(1, round(length_mm / mm_per_stage + 0.5))

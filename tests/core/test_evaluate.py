@@ -1,0 +1,95 @@
+"""Single-mapping evaluation (Figure 5 steps 2-8)."""
+
+import pytest
+
+from repro.core.constraints import Constraints
+from repro.core.evaluate import evaluate_mapping, nominal_pitch_mm
+from repro.core.greedy import initial_greedy_mapping
+from repro.errors import MappingInfeasibleError
+from repro.routing.library import make_routing
+from repro.topology.library import make_topology
+
+
+@pytest.fixture
+def mesh_eval(vopd_app):
+    topo = make_topology("mesh", 12)
+    assignment = initial_greedy_mapping(vopd_app, topo)
+    return evaluate_mapping(
+        vopd_app, topo, assignment, make_routing("MP"), Constraints()
+    )
+
+
+class TestEvaluate:
+    def test_metrics_populated(self, mesh_eval):
+        assert mesh_eval.avg_hops >= 2.0
+        assert mesh_eval.max_link_load > 0
+        assert mesh_eval.area_mm2 is not None and mesh_eval.area_mm2 > 0
+        assert mesh_eval.power_mw is not None and mesh_eval.power_mw > 0
+        assert mesh_eval.floorplan is not None
+        assert mesh_eval.resources is not None
+
+    def test_power_breakdown_sums(self, mesh_eval):
+        b = mesh_eval.power
+        assert b.total_mw == pytest.approx(
+            b.switch_dynamic + b.link_dynamic + b.clock + b.leakage
+        )
+        assert b.switch_dynamic > b.link_dynamic  # paper Section 6.1
+
+    def test_summary_row_keys(self, mesh_eval):
+        row = mesh_eval.summary_row()
+        for key in ("topology", "routing", "feasible", "avg_hops",
+                    "area_mm2", "power_mw", "switches", "links"):
+            assert key in row
+
+    def test_fast_mode_skips_floorplan(self, vopd_app):
+        topo = make_topology("mesh", 12)
+        assignment = initial_greedy_mapping(vopd_app, topo)
+        ev = evaluate_mapping(
+            vopd_app, topo, assignment, make_routing("MP"), Constraints(),
+            with_floorplan=False,
+        )
+        assert ev.floorplan is None
+        assert ev.area_mm2 is None
+        assert ev.power_mw is not None  # nominal-length estimate
+
+    def test_incomplete_assignment_rejected(self, vopd_app):
+        topo = make_topology("mesh", 12)
+        with pytest.raises(MappingInfeasibleError):
+            evaluate_mapping(
+                vopd_app, topo, {0: 0}, make_routing("MP"), Constraints()
+            )
+
+    def test_duplicate_slot_rejected(self, vopd_app):
+        topo = make_topology("mesh", 12)
+        assignment = {i: 0 for i in range(12)}
+        with pytest.raises(MappingInfeasibleError):
+            evaluate_mapping(
+                vopd_app, topo, assignment, make_routing("MP"), Constraints()
+            )
+
+    def test_slot_out_of_range_rejected(self, vopd_app):
+        topo = make_topology("mesh", 12)
+        assignment = {i: i for i in range(12)}
+        assignment[0] = 99
+        with pytest.raises(MappingInfeasibleError):
+            evaluate_mapping(
+                vopd_app, topo, assignment, make_routing("MP"), Constraints()
+            )
+
+    def test_sort_key_prefers_feasible(self, mesh_eval):
+        key = mesh_eval.sort_key()
+        assert key[0] == (0 if mesh_eval.feasible else 1)
+
+    def test_nominal_pitch(self, vopd_app):
+        pitch = nominal_pitch_mm(vopd_app)
+        assert 1.0 < pitch < 3.0
+
+    def test_tight_capacity_flags_infeasible(self, vopd_app):
+        topo = make_topology("mesh", 12)
+        assignment = initial_greedy_mapping(vopd_app, topo)
+        ev = evaluate_mapping(
+            vopd_app, topo, assignment, make_routing("MP"),
+            Constraints(link_capacity_mb_s=100.0),
+        )
+        assert not ev.bandwidth_feasible
+        assert ev.overflow_mb_s > 0

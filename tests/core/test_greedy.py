@@ -1,0 +1,56 @@
+"""Initial greedy mapping (Figure 5, step 1)."""
+
+import pytest
+
+from repro.core.coregraph import CoreGraph
+from repro.core.greedy import initial_greedy_mapping
+from repro.errors import MappingInfeasibleError
+from repro.topology.library import make_topology
+
+
+class TestGreedy:
+    def test_assignment_is_injective_and_complete(self, vopd_app):
+        for name in ("mesh", "torus", "hypercube", "clos", "butterfly"):
+            topo = make_topology(name, vopd_app.num_cores)
+            assignment = initial_greedy_mapping(vopd_app, topo)
+            assert set(assignment) == set(range(vopd_app.num_cores))
+            slots = list(assignment.values())
+            assert len(set(slots)) == len(slots)
+            assert all(0 <= s < topo.num_slots for s in slots)
+
+    def test_too_many_cores_rejected(self):
+        g = CoreGraph("big")
+        for i in range(10):
+            g.add_core(f"c{i}")
+        g.add_flow(0, 1, 10.0)
+        topo = make_topology("mesh", 6)  # 2x3 = 6 slots
+        with pytest.raises(MappingInfeasibleError):
+            initial_greedy_mapping(g, topo)
+
+    def test_heaviest_core_gets_best_connected_slot(self, mpeg4_app):
+        """SDRAM (max traffic) must land on a max-degree mesh switch."""
+        topo = make_topology("mesh", 12)
+        assignment = initial_greedy_mapping(mpeg4_app, topo)
+        sdram_slot = assignment[mpeg4_app.core_index("sdram")]
+        row, col = topo.slot_cell(sdram_slot)
+        # Interior cells of a 3x4 mesh: row 1, columns 1..2.
+        assert row == 1 and col in (1, 2)
+
+    def test_deterministic(self, vopd_app):
+        topo = make_topology("mesh", 12)
+        a1 = initial_greedy_mapping(vopd_app, topo)
+        a2 = initial_greedy_mapping(vopd_app, topo)
+        assert a1 == a2
+
+    def test_communicating_pairs_are_near(self, vopd_app):
+        """Greedy should place heavy partners within 2 network hops."""
+        topo = make_topology("mesh", 12)
+        assignment = initial_greedy_mapping(vopd_app, topo)
+        heavy = [
+            (s, d)
+            for (s, d), bw in vopd_app.flows().items()
+            if bw >= 300.0
+        ]
+        for s, d in heavy:
+            dist = topo.hop_distance(assignment[s], assignment[d])
+            assert dist <= 4

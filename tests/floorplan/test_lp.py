@@ -1,0 +1,130 @@
+"""LP floorplanner legality and quality."""
+
+import pytest
+
+from repro.core.greedy import initial_greedy_mapping
+from repro.errors import FloorplanError
+from repro.floorplan.lp import floorplan_mapping
+from repro.topology.library import make_topology
+
+
+def identity(n: int) -> dict:
+    return {i: i for i in range(n)}
+
+
+@pytest.fixture(
+    params=["mesh", "torus", "hypercube", "clos", "butterfly", "star"]
+)
+def floorplan(request, vopd_app):
+    topo = make_topology(request.param, 12)
+    fp = floorplan_mapping(topo, identity(12), vopd_app)
+    return topo, fp
+
+
+class TestLegality:
+    def test_validate_passes(self, floorplan):
+        _topo, fp = floorplan
+        fp.validate()  # raises on any violation
+
+    def test_no_overlaps(self, floorplan):
+        _topo, fp = floorplan
+        rects = list(fp.rects.values())
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_soft_areas_conserved(self, floorplan):
+        _topo, fp = floorplan
+        for rect in fp.rects.values():
+            assert rect.area_mm2 >= rect.block.area_mm2 - 1e-6
+
+    def test_blocks_inside_chip(self, floorplan):
+        _topo, fp = floorplan
+        for rect in fp.rects.values():
+            assert rect.x >= -1e-9 and rect.y >= -1e-9
+            assert rect.x + rect.w <= fp.width_mm + 1e-6
+            assert rect.y + rect.h <= fp.height_mm + 1e-6
+
+    def test_aspect_bounds_respected(self, floorplan):
+        _topo, fp = floorplan
+        for rect in fp.rects.values():
+            block = rect.block
+            if block.is_soft:
+                ratio = rect.w / rect.h
+                assert block.aspect_min - 1e-6 <= ratio <= block.aspect_max + 1e-6
+
+    def test_area_at_least_total_block_area(self, floorplan):
+        _topo, fp = floorplan
+        assert fp.area_mm2 >= fp.block_area_mm2
+
+    def test_whitespace_reasonable(self, floorplan):
+        _topo, fp = floorplan
+        assert fp.whitespace_fraction < 0.5
+
+
+class TestLinkLengths:
+    def test_lengths_positive_and_bounded(self, floorplan, vopd_app):
+        topo, fp = floorplan
+        lengths = fp.link_lengths(topo, identity(12))
+        diag = fp.width_mm + fp.height_mm
+        assert lengths
+        for length in lengths.values():
+            assert 0 < length <= diag
+
+    def test_bidirectional_links_have_equal_length(self, vopd_app):
+        topo = make_topology("mesh", 12)
+        fp = floorplan_mapping(topo, identity(12), vopd_app)
+        lengths = fp.link_lengths(topo, identity(12))
+        for (u, v), length in lengths.items():
+            if (v, u) in lengths:
+                assert lengths[(v, u)] == pytest.approx(length)
+
+    def test_unmapped_terminal_edges_skipped(self, dsp_app):
+        topo = make_topology("hypercube", 6)  # 8 slots
+        fp = floorplan_mapping(topo, identity(6), dsp_app)
+        lengths = fp.link_lengths(topo, identity(6))
+        terms = {("term", 6), ("term", 7)}
+        for u, v in lengths:
+            assert u not in terms and v not in terms
+
+
+class TestBehaviour:
+    def test_deterministic(self, vopd_app):
+        topo = make_topology("mesh", 12)
+        fp1 = floorplan_mapping(topo, identity(12), vopd_app)
+        fp2 = floorplan_mapping(topo, identity(12), vopd_app)
+        assert fp1.area_mm2 == pytest.approx(fp2.area_mm2)
+
+    def test_mapping_changes_link_lengths(self, vopd_app):
+        topo = make_topology("mesh", 12)
+        a1 = identity(12)
+        a2 = dict(a1)
+        a2[0], a2[11] = a2[11], a2[0]
+        l1 = floorplan_mapping(topo, a1, vopd_app).link_lengths(topo, a1)
+        l2 = floorplan_mapping(topo, a2, vopd_app).link_lengths(topo, a2)
+        assert l1 != l2
+
+    def test_torus_wrap_links_longer_than_mesh_average(self, vopd_app):
+        torus = make_topology("torus", 12)
+        fp = floorplan_mapping(torus, identity(12), vopd_app)
+        lengths = fp.link_lengths(torus, identity(12))
+        wrap = [
+            lengths[(u, v)]
+            for u, v, d in torus.graph.edges(data=True)
+            if d.get("wrap") and (u, v) in lengths
+        ]
+        regular = [
+            lengths[(u, v)]
+            for u, v, d in torus.graph.edges(data=True)
+            if d["kind"] == "net" and not d.get("wrap") and (u, v) in lengths
+        ]
+        assert sum(wrap) / len(wrap) > sum(regular) / len(regular)
+
+    def test_tight_aspect_pads_to_square(self, vopd_app):
+        """An aspect bound the packing can't meet is absorbed as
+        whitespace (area cost) rather than failure."""
+        topo = make_topology("mesh", 12)
+        free = floorplan_mapping(topo, identity(12), vopd_app, max_aspect=None)
+        square = floorplan_mapping(topo, identity(12), vopd_app, max_aspect=1.0)
+        assert square.aspect_ratio == pytest.approx(1.0, abs=1e-6)
+        assert square.area_mm2 >= free.area_mm2 - 1e-6

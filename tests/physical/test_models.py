@@ -1,0 +1,140 @@
+"""Area/power model unit tests (paper Section 5)."""
+
+import pytest
+
+from repro.physical.library import AreaPowerLibrary
+from repro.physical.link_power import (
+    link_dynamic_power_mw,
+    link_leakage_power_mw,
+)
+from repro.physical.switch_area import (
+    SwitchConfig,
+    buffer_area_um2,
+    channel_area_mm2,
+    crossbar_area_um2,
+    logic_area_um2,
+    switch_area_mm2,
+)
+from repro.physical.switch_power import (
+    switch_clock_power_mw,
+    switch_dynamic_power_mw,
+    switch_energy_pj_per_bit,
+    switch_leakage_power_mw,
+)
+from repro.physical.technology import TECH_100NM, scaled_technology
+
+
+class TestSwitchConfig:
+    def test_bad_ports_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchConfig(0, 4)
+        with pytest.raises(ValueError):
+            SwitchConfig(4, 4, flit_width_bits=0)
+
+    def test_radix(self):
+        assert SwitchConfig(3, 5).radix == 5
+
+
+class TestAreaModel:
+    def test_area_components_positive(self):
+        cfg = SwitchConfig(5, 5)
+        assert crossbar_area_um2(cfg) > 0
+        assert buffer_area_um2(cfg) > 0
+        assert logic_area_um2(cfg) > 0
+
+    def test_area_monotone_in_ports(self):
+        areas = [switch_area_mm2(SwitchConfig(p, p)) for p in range(2, 9)]
+        assert areas == sorted(areas)
+        assert areas[-1] > areas[0]
+
+    def test_area_monotone_in_buffer_depth(self):
+        shallow = switch_area_mm2(SwitchConfig(5, 5, buffer_depth_flits=4))
+        deep = switch_area_mm2(SwitchConfig(5, 5, buffer_depth_flits=64))
+        assert deep > shallow
+
+    def test_crossbar_scales_with_port_product(self):
+        a33 = crossbar_area_um2(SwitchConfig(3, 3))
+        a66 = crossbar_area_um2(SwitchConfig(6, 6))
+        assert a66 == pytest.approx(4 * a33)
+
+    def test_5x5_switch_area_plausible_at_100nm(self):
+        """Landing zone for an xpipes-class 32-bit switch."""
+        area = switch_area_mm2(SwitchConfig(5, 5))
+        assert 0.1 < area < 0.5
+
+    def test_channel_area_linear_in_length(self):
+        one = channel_area_mm2(1.0)
+        three = channel_area_mm2(3.0)
+        assert three == pytest.approx(3 * one)
+
+
+class TestPowerModel:
+    def test_energy_monotone_in_ports(self):
+        energies = [
+            switch_energy_pj_per_bit(SwitchConfig(p, p)) for p in range(2, 9)
+        ]
+        assert energies == sorted(energies)
+
+    def test_dynamic_power_linear_in_traffic(self):
+        cfg = SwitchConfig(5, 5)
+        p1 = switch_dynamic_power_mw(cfg, 100.0)
+        p5 = switch_dynamic_power_mw(cfg, 500.0)
+        assert p5 == pytest.approx(5 * p1)
+
+    def test_static_power_positive(self):
+        cfg = SwitchConfig(4, 4)
+        assert switch_clock_power_mw(cfg) > 0
+        assert switch_leakage_power_mw(cfg) > 0
+
+    def test_link_power_linear_in_length_and_traffic(self):
+        assert link_dynamic_power_mw(100.0, 2.0) == pytest.approx(
+            2 * link_dynamic_power_mw(100.0, 1.0)
+        )
+        assert link_dynamic_power_mw(200.0, 1.0) == pytest.approx(
+            2 * link_dynamic_power_mw(100.0, 1.0)
+        )
+        assert link_leakage_power_mw(3.0) == pytest.approx(
+            3 * link_leakage_power_mw(1.0)
+        )
+
+    def test_link_energy_much_lower_than_switch(self):
+        """Paper: 'link power dissipation is much lower than the switch
+        power dissipation' (per bit, typical 2 mm link)."""
+        link_pj = TECH_100NM.link_energy_pj_per_bit_mm * 2.0
+        switch_pj = switch_energy_pj_per_bit(SwitchConfig(4, 4))
+        assert switch_pj > 5 * link_pj
+
+
+class TestLibrary:
+    def test_entries_cached(self):
+        lib = AreaPowerLibrary()
+        e1 = lib.entry(SwitchConfig(4, 4))
+        e2 = lib.entry(SwitchConfig(4, 4))
+        assert e1 is e2
+
+    def test_table_rows(self):
+        lib = AreaPowerLibrary()
+        rows = lib.table(max_radix=6)
+        assert len(rows) == 5
+        assert all(r.area_mm2 > 0 for r in rows)
+
+
+class TestScaling:
+    def test_scaling_to_smaller_node_shrinks_area_and_energy(self):
+        t65 = scaled_technology(0.065)
+        assert t65.sram_bit_area_um2 < TECH_100NM.sram_bit_area_um2
+        assert t65.e_buffer_write_pj < TECH_100NM.e_buffer_write_pj
+
+    def test_scaling_identity(self):
+        t = scaled_technology(0.10)
+        assert t.sram_bit_area_um2 == pytest.approx(
+            TECH_100NM.sram_bit_area_um2
+        )
+
+    def test_bad_feature_size(self):
+        with pytest.raises(ValueError):
+            scaled_technology(0.0)
+
+    def test_vdd_floor(self):
+        t = scaled_technology(0.02)
+        assert t.vdd_v >= 0.7

@@ -1,0 +1,56 @@
+"""EdgeLoads ledger tests."""
+
+import pytest
+
+from repro.routing.loads import EdgeLoads
+
+
+class TestEdgeLoads:
+    def test_empty(self):
+        loads = EdgeLoads()
+        assert loads.get("a", "b") == 0.0
+        assert loads.max_load() == 0.0
+        assert loads.total == 0.0
+        assert len(loads) == 0
+
+    def test_add_accumulates(self):
+        loads = EdgeLoads()
+        loads.add("a", "b", 100.0)
+        loads.add("a", "b", 50.0)
+        assert loads.get("a", "b") == pytest.approx(150.0)
+        assert len(loads) == 1
+
+    def test_direction_matters(self):
+        loads = EdgeLoads()
+        loads.add("a", "b", 100.0)
+        assert loads.get("b", "a") == 0.0
+
+    def test_add_path(self):
+        loads = EdgeLoads()
+        loads.add_path(["a", "b", "c", "d"], 10.0)
+        assert loads.get("a", "b") == 10.0
+        assert loads.get("b", "c") == 10.0
+        assert loads.get("c", "d") == 10.0
+        assert loads.total == pytest.approx(30.0)
+
+    def test_max_load_with_edge_filter(self):
+        loads = EdgeLoads()
+        loads.add("a", "b", 100.0)
+        loads.add("b", "c", 300.0)
+        assert loads.max_load() == 300.0
+        assert loads.max_load([("a", "b")]) == 100.0
+        assert loads.max_load([("x", "y")]) == 0.0
+
+    def test_copy_is_independent(self):
+        loads = EdgeLoads()
+        loads.add("a", "b", 100.0)
+        clone = loads.copy()
+        clone.add("a", "b", 50.0)
+        assert loads.get("a", "b") == 100.0
+        assert clone.get("a", "b") == 150.0
+
+    def test_total_upper_bounds_any_edge(self):
+        loads = EdgeLoads()
+        loads.add_path(["a", "b", "c"], 7.0)
+        loads.add("a", "b", 3.0)
+        assert loads.total >= loads.max_load()

@@ -1,0 +1,100 @@
+"""Simulator behaviour across configurations."""
+
+import pytest
+
+from repro.simulation.network import Network, SimConfig
+from repro.simulation.stats import run_measurement
+from repro.simulation.traffic import SyntheticTraffic
+from repro.topology.base import is_switch
+from repro.topology.library import make_topology
+
+
+def run_and_drain(topo_name, config, rate=0.08, cycles=1000, n=9):
+    topo = make_topology(topo_name, n)
+    net = Network(topo, config)
+    net.run(cycles, SyntheticTraffic("uniform", rate, seed=2))
+    assert net.drain(), "network failed to drain"
+    return net
+
+
+class TestPacketLength:
+    @pytest.mark.parametrize("plen", [1, 2, 4, 16])
+    def test_conservation_across_lengths(self, plen):
+        net = run_and_drain("mesh", SimConfig(packet_length_flits=plen, seed=1))
+        assert net.injected_packets == len(net.delivered)
+        assert net.ejected_flits == plen * len(net.delivered)
+
+    def test_longer_packets_higher_latency(self):
+        def avg(plen):
+            net = run_and_drain(
+                "mesh", SimConfig(packet_length_flits=plen, seed=1)
+            )
+            lats = [p.latency for p in net.delivered]
+            return sum(lats) / len(lats)
+
+        assert avg(16) > avg(2)
+
+
+class TestLinkLatency:
+    def test_longer_links_slow_everything(self):
+        def avg(lat):
+            net = run_and_drain("mesh", SimConfig(link_latency=lat, seed=1))
+            lats = [p.latency for p in net.delivered]
+            return sum(lats) / len(lats)
+
+        assert avg(3) > avg(1)
+
+    def test_switch_latency_zero_supported(self):
+        net = run_and_drain("mesh", SimConfig(switch_latency=0, seed=1))
+        assert net.injected_packets == len(net.delivered)
+
+
+class TestTopologyCoverage:
+    @pytest.mark.parametrize("name", ["star", "ring", "octagon"])
+    def test_extension_topologies_simulate(self, name):
+        n = 8
+        net = run_and_drain(name, SimConfig(seed=3), n=n)
+        assert net.injected_packets == len(net.delivered)
+
+    def test_clos_uses_all_middles(self):
+        """Adaptive middle choice must spread packets over every middle
+        switch (the path diversity Figure 8(b) rewards)."""
+        topo = make_topology("clos", 8)
+        net = Network(topo, SimConfig(seed=4))
+        seen_middles = set()
+        original = net._schedule_arrival
+
+        def spy(when, key, flit):
+            edge, _vc = key
+            dst = edge[1]
+            if is_switch(dst) and dst[1][0] == "mid":
+                seen_middles.add(dst)
+            original(when, key, flit)
+
+        net._schedule_arrival = spy
+        net.run(1500, SyntheticTraffic("uniform", 0.2, seed=5))
+        net._schedule_arrival = original
+        net.drain()
+        assert len(seen_middles) == topo.m
+
+
+class TestMeasurementWindows:
+    def test_zero_measure_window(self):
+        topo = make_topology("mesh", 9)
+        report = run_measurement(
+            topo, SyntheticTraffic("uniform", 0.1, seed=6),
+            warmup=200, measure=0, drain=200,
+        )
+        assert report.measured_packets == 0
+        assert report.delivered_fraction == 1.0
+
+    def test_throughput_tracks_offered_load_below_saturation(self):
+        topo = make_topology("torus", 16)
+        report = run_measurement(
+            topo, SyntheticTraffic("uniform", 0.2, seed=7),
+            warmup=400, measure=2000, drain=1500, offered_rate=0.2,
+        )
+        # 16 nodes x 0.2 flits/cycle = 3.2 flits/cycle network-wide.
+        assert report.throughput_flits_per_cycle == pytest.approx(
+            3.2, rel=0.15
+        )

@@ -1,0 +1,94 @@
+"""Flit/packet model and simulator routing tables."""
+
+import pytest
+
+from repro.errors import UnsupportedRoutingError
+from repro.simulation.flit import Flit, Packet
+from repro.simulation.routes import RouteTable
+from repro.topology.base import is_switch, switch, term
+from repro.topology.library import make_topology
+
+
+class TestPacket:
+    def test_flit_roles(self):
+        p = Packet(pid=0, src=0, dst=1, length=4, created=0)
+        flits = p.flits()
+        assert flits[0].is_head and not flits[0].is_tail
+        assert flits[-1].is_tail and not flits[-1].is_head
+        assert all(
+            not f.is_head and not f.is_tail for f in flits[1:-1]
+        )
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        p = Packet(pid=0, src=0, dst=1, length=1, created=0)
+        (f,) = p.flits()
+        assert f.is_head and f.is_tail
+
+    def test_latency(self):
+        p = Packet(pid=0, src=0, dst=1, length=2, created=10)
+        assert p.latency is None
+        p.ejected = 25
+        assert p.latency == 15
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(pid=0, src=0, dst=1, length=0, created=0)
+
+
+class TestRouteTable:
+    def test_mesh_next_hops_follow_dor(self):
+        topo = make_topology("mesh", 9)  # 3x3
+        table = RouteTable(topo)
+        # From switch 0 toward slot 2 (same row): go east to switch 1.
+        assert table.candidates(switch(0), 2) == (switch(1),)
+
+    def test_candidates_end_at_destination_terminal(self):
+        topo = make_topology("mesh", 9)
+        table = RouteTable(topo)
+        assert table.candidates(switch(4), 4) == (term(4),)
+
+    def test_clos_ingress_has_middle_diversity(self):
+        topo = make_topology("clos", 8)
+        table = RouteTable(topo)
+        cands = table.candidates(switch(("in", 0)), 7)
+        assert len(cands) == topo.m
+
+    def test_butterfly_single_candidate_everywhere(self):
+        topo = make_topology("butterfly", 8)
+        table = RouteTable(topo)
+        for node in topo.switches:
+            for dst in range(8):
+                try:
+                    cands = table.candidates(node, dst)
+                except UnsupportedRoutingError:
+                    continue  # switch not on any path to dst
+                assert len(cands) == 1
+
+    def test_next_hop_deterministic_for_single_candidate(self):
+        import random
+
+        topo = make_topology("mesh", 9)
+        table = RouteTable(topo)
+        rng = random.Random(0)
+        hops = {table.next_hop(switch(0), 8, rng) for _ in range(10)}
+        assert len(hops) == 1
+
+    def test_unknown_route_raises(self):
+        topo = make_topology("mesh", 9)
+        table = RouteTable(topo, slots=[0, 1, 2])
+        with pytest.raises(UnsupportedRoutingError):
+            table.candidates(switch(0), 8)
+
+    def test_walking_candidates_reaches_destination(self):
+        import random
+
+        topo = make_topology("clos", 12)
+        table = RouteTable(topo)
+        rng = random.Random(1)
+        for dst in (3, 7, 11):
+            node = topo.switch_of(0)
+            for _ in range(6):
+                node = table.next_hop(node, dst, rng)
+                if node == term(dst):
+                    break
+            assert node == term(dst)

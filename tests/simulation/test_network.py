@@ -1,0 +1,158 @@
+"""Cycle-accurate simulator invariants."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.network import Network, SimConfig
+from repro.simulation.stats import run_measurement
+from repro.simulation.traffic import SyntheticTraffic, TraceTraffic
+from repro.topology.library import make_topology
+
+
+def low_load_run(topo_name: str, rate: float = 0.08, cycles: int = 1500):
+    topo = make_topology(topo_name, 16)
+    net = Network(topo, SimConfig(seed=2))
+    traffic = SyntheticTraffic("uniform", rate, seed=4)
+    net.run(cycles, traffic)
+    assert net.drain(), f"{topo_name} failed to drain"
+    return net
+
+
+class TestConservation:
+    @pytest.mark.parametrize(
+        "topo_name", ["mesh", "torus", "hypercube", "clos", "butterfly"]
+    )
+    def test_all_packets_delivered_after_drain(self, topo_name):
+        net = low_load_run(topo_name)
+        assert net.injected_packets == len(net.delivered)
+        assert net.in_flight == 0
+
+    def test_flit_conservation(self):
+        net = low_load_run("mesh")
+        plen = net.config.packet_length_flits
+        assert net.ejected_flits == len(net.delivered) * plen
+
+
+class TestLatency:
+    def test_latency_at_least_zero_load_bound(self):
+        """Latency >= switch pipeline + link traversal + serialization
+        (+1 cycle of injection scheduling)."""
+        net = low_load_run("mesh")
+        plen = net.config.packet_length_flits
+        for p in net.delivered:
+            hops = net.topology.hop_distance(p.src, p.dst)
+            links = hops + 1
+            lower = hops + links + plen
+            assert p.latency >= lower
+
+    def test_some_packet_achieves_zero_load_latency(self):
+        net = low_load_run("butterfly", rate=0.02)
+        plen = net.config.packet_length_flits
+        best = min(p.latency for p in net.delivered)
+        # butterfly: 2 switch cycles + 3 link cycles + serialization + 1
+        assert best == 2 + 3 + plen
+
+    def test_latency_increases_with_load(self):
+        topo = make_topology("mesh", 16)
+        lo = run_measurement(
+            topo, SyntheticTraffic("bit_reverse", 0.05, seed=3),
+            warmup=400, measure=1500, drain=1500, offered_rate=0.05,
+        )
+        hi = run_measurement(
+            topo, SyntheticTraffic("bit_reverse", 0.35, seed=3),
+            warmup=400, measure=1500, drain=1500, offered_rate=0.35,
+        )
+        assert hi.avg_latency > lo.avg_latency
+
+
+class TestWormhole:
+    def test_no_packet_interleaving_on_links(self):
+        """Flits of different packets must not interleave within a VC."""
+        topo = make_topology("mesh", 9)
+        net = Network(topo, SimConfig(seed=5))
+        arrivals = []  # (edge, vc, pid, flit_index)
+        original = net._schedule_arrival
+
+        def spy(when, key, flit):
+            arrivals.append((key, flit.packet.pid, flit.index))
+            original(when, key, flit)
+
+        net._schedule_arrival = spy
+        net.run(800, SyntheticTraffic("uniform", 0.2, seed=6))
+        net._schedule_arrival = original
+        net.drain()
+        per_channel: dict = {}
+        for key, pid, index in arrivals:
+            per_channel.setdefault(key, []).append((pid, index))
+        for seq in per_channel.values():
+            current = None
+            for pid, index in seq:
+                if index == 0:
+                    current = pid
+                else:
+                    assert pid == current, "interleaved packet on channel"
+
+    def test_torus_deadlock_free_under_load(self):
+        """Dateline VCs: torus at high adversarial load still drains."""
+        topo = make_topology("torus", 16)
+        net = Network(topo, SimConfig(seed=7))
+        net.run(2500, SyntheticTraffic("bit_reverse", 0.45, seed=8))
+        assert net.drain(max_cycles=60000)
+
+    def test_ring_deadlock_free_under_load(self):
+        topo = make_topology("ring", 8)
+        net = Network(topo, SimConfig(seed=9))
+        net.run(2500, SyntheticTraffic("tornado", 0.3, seed=10))
+        assert net.drain(max_cycles=60000)
+
+
+class TestApiGuards:
+    def test_self_packet_rejected(self):
+        net = Network(make_topology("mesh", 4))
+        with pytest.raises(SimulationError):
+            net.create_packet(0, 0)
+
+    def test_inactive_slot_rejected(self):
+        net = Network(make_topology("mesh", 9), active_slots=[0, 1, 2])
+        with pytest.raises(SimulationError):
+            net.create_packet(5, 0)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(SimulationError):
+            SimConfig(packet_length_flits=0)
+        with pytest.raises(SimulationError):
+            SimConfig(buffer_depth_flits=0)
+        with pytest.raises(SimulationError):
+            SimConfig(link_latency=0)
+        with pytest.raises(SimulationError):
+            SimConfig(num_vcs=0)
+
+    def test_deterministic_given_seeds(self):
+        def run():
+            topo = make_topology("mesh", 9)
+            net = Network(topo, SimConfig(seed=3))
+            net.run(600, SyntheticTraffic("uniform", 0.15, seed=4))
+            net.drain()
+            return [(p.pid, p.latency) for p in net.delivered]
+
+        assert run() == run()
+
+
+class TestTraceTraffic:
+    def test_trace_rates_proportional_to_bandwidth(self, dsp_app):
+        assignment = {i: i for i in range(6)}
+        trace = TraceTraffic(dsp_app, assignment)
+        rates = {(s, d): r for s, d, r in trace.flows}
+        fft = dsp_app.core_index("fft")
+        filt = dsp_app.core_index("filter")
+        arm = dsp_app.core_index("arm")
+        assert rates[(fft, filt)] == pytest.approx(3 * rates[(arm, fft)])
+
+    def test_trace_drives_simulation(self, dsp_app):
+        topo = make_topology("mesh", 6)
+        assignment = {i: i for i in range(6)}
+        trace = TraceTraffic(dsp_app, assignment, scale=0.3)
+        net = Network(topo, SimConfig(seed=11), active_slots=list(range(6)))
+        net.run(1500, trace)
+        assert net.drain()
+        assert net.injected_packets > 0

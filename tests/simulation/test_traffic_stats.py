@@ -1,0 +1,92 @@
+"""Traffic patterns and measurement harness."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.stats import latency_vs_injection, run_measurement
+from repro.simulation.traffic import (
+    ADVERSARIAL_PATTERNS,
+    PATTERNS,
+    SyntheticTraffic,
+    adversarial_pattern,
+)
+from repro.topology.library import make_topology
+
+
+class TestPatterns:
+    @pytest.mark.parametrize("name", sorted(set(PATTERNS) - {"uniform"}))
+    @pytest.mark.parametrize("n", [8, 16])
+    def test_deterministic_patterns_are_permutations(self, name, n):
+        fn = PATTERNS[name]
+        rng = random.Random(0)
+        dests = [fn(i, n, rng) for i in range(n)]
+        assert all(0 <= d < n for d in dests)
+        assert len(set(dests)) == n  # bijective
+
+    def test_uniform_excludes_self(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            i = rng.randrange(16)
+            assert PATTERNS["uniform"](i, 16, rng) != i
+
+    def test_bit_complement_pairs(self):
+        rng = random.Random(0)
+        assert PATTERNS["bit_complement"](0, 16, rng) == 15
+        assert PATTERNS["bit_complement"](5, 16, rng) == 10
+
+    def test_transpose_square(self):
+        rng = random.Random(0)
+        assert PATTERNS["transpose"](1, 16, rng) == 4
+        assert PATTERNS["transpose"](7, 16, rng) == 13
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(SimulationError):
+            SyntheticTraffic("zigzag", 0.1)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            SyntheticTraffic("uniform", -0.1)
+
+    def test_adversarial_lookup(self):
+        for name in ("mesh", "torus", "hypercube", "clos", "butterfly"):
+            topo = make_topology(name, 16)
+            assert adversarial_pattern(topo) in PATTERNS
+        assert adversarial_pattern(make_topology("ring", 8)) == "transpose"
+
+    def test_adversarial_table_covers_standard_library(self):
+        assert set(ADVERSARIAL_PATTERNS) == {
+            "mesh", "torus", "hypercube", "clos", "butterfly",
+        }
+
+
+class TestMeasurement:
+    def test_report_fields(self):
+        topo = make_topology("mesh", 9)
+        report = run_measurement(
+            topo, SyntheticTraffic("uniform", 0.1, seed=2),
+            warmup=300, measure=900, drain=900, offered_rate=0.1,
+        )
+        assert report.measured_packets > 0
+        assert 0 < report.avg_latency < 1000
+        assert report.min_latency <= report.avg_latency <= report.p95_latency
+        assert 0 <= report.delivered_fraction <= 1.0
+        assert not report.saturated()
+
+    def test_latency_vs_injection_monotone_shape(self):
+        topo = make_topology("mesh", 16)
+        reports = latency_vs_injection(
+            topo, [0.05, 0.3], pattern="bit_reverse",
+            warmup=300, measure=1200, drain=1200,
+        )
+        assert reports[0].avg_latency < reports[1].avg_latency
+        assert reports[0].offered_rate == 0.05
+
+    def test_saturation_detected_on_butterfly(self):
+        topo = make_topology("butterfly", 16)
+        report = run_measurement(
+            topo, SyntheticTraffic("bit_complement", 0.5, seed=3),
+            warmup=300, measure=1500, drain=600, offered_rate=0.5,
+        )
+        assert report.saturated() or report.avg_latency > 100

@@ -1,0 +1,105 @@
+"""CLI smoke and behaviour tests (each subcommand end to end)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for name in ("vopd", "mpeg4", "dsp", "netproc"):
+            assert name in out
+
+    def test_topologies(self, capsys):
+        assert main(["topologies", "--cores", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "mesh-3x4" in out
+        assert "butterfly-4ary2fly" in out
+
+    def test_topologies_reports_unavailable(self, capsys):
+        assert main(["topologies", "--cores", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "octagon" in out and "not available" in out
+
+    def test_library(self, capsys):
+        assert main(["library", "--max-radix", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "area mm2" in out and "5x" in out
+
+
+class TestMapAndSelect:
+    def test_map_dsp_mesh(self, capsys):
+        assert main([
+            "map", "--app", "dsp", "--topology", "mesh",
+            "--capacity", "1000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "assignment:" in out
+        assert "arm" in out
+
+    def test_select_dsp(self, capsys):
+        assert main([
+            "select", "--app", "dsp", "--capacity", "1000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out
+        assert "butterfly" in out
+
+    def test_select_with_fallback(self, capsys):
+        assert main([
+            "select", "--app", "dsp", "--fallback",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "attempted" in out
+
+    def test_bad_app_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["select", "--app", "doom"])
+
+
+class TestSimulateAndGenerate:
+    def test_simulate(self, capsys):
+        assert main([
+            "simulate", "--app", "netproc", "--topology", "clos",
+            "--rate", "0.1", "--cycles", "800", "--warmup", "200",
+            "--drain", "800",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "avg latency" in out
+
+    def test_simulate_named_pattern(self, capsys):
+        assert main([
+            "simulate", "--app", "netproc", "--topology", "mesh",
+            "--rate", "0.05", "--pattern", "uniform",
+            "--cycles", "600", "--warmup", "200", "--drain", "600",
+        ]) == 0
+        assert "mesh" in capsys.readouterr().out
+
+    def test_generate_to_file(self, capsys, tmp_path):
+        out_file = tmp_path / "dsp.cpp"
+        assert main([
+            "generate", "--app", "dsp", "--topology", "butterfly",
+            "--capacity", "1000", "--output", str(out_file),
+        ]) == 0
+        assert out_file.exists()
+        text = out_file.read_text()
+        assert "sc_main" in text
+
+    def test_generate_infeasible_returns_error(self, capsys):
+        code = main([
+            "generate", "--app", "mpeg4", "--topology", "butterfly",
+            "--capacity", "500",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_explore_dsp(self, capsys):
+        assert main([
+            "explore", "--app", "dsp", "--topology", "mesh",
+            "--capacity", "1000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "DO" in out and "SA" in out
+        assert "Pareto" in out

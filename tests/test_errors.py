@@ -1,0 +1,51 @@
+"""Error hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    CoreGraphError,
+    FloorplanError,
+    GenerationError,
+    MappingInfeasibleError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+    UnsupportedRoutingError,
+)
+
+ALL_ERRORS = [
+    CoreGraphError,
+    TopologyError,
+    UnsupportedRoutingError,
+    MappingInfeasibleError,
+    FloorplanError,
+    SimulationError,
+    GenerationError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    @pytest.mark.parametrize("exc_type", ALL_ERRORS)
+    def test_catchable_as_base(self, exc_type):
+        with pytest.raises(ReproError):
+            raise exc_type("boom")
+
+    def test_one_base_catch_covers_public_api(self):
+        """API boundary contract: a caller wrapping any library call in
+        ``except ReproError`` sees every domain failure."""
+        from repro import CoreGraph, make_topology
+
+        caught = []
+        for trigger in (
+            lambda: CoreGraph("x").validate(),
+            lambda: make_topology("nope", 4),
+        ):
+            try:
+                trigger()
+            except ReproError as exc:
+                caught.append(type(exc).__name__)
+        assert caught == ["CoreGraphError", "TopologyError"]

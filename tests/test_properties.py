@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.synthetic import random_core_graph
+from repro.core.constraints import Constraints
+from repro.core.evaluate import evaluate_mapping
+from repro.core.exploration import ParetoPoint, pareto_front
+from repro.core.greedy import initial_greedy_mapping
+from repro.routing.library import make_routing
+from repro.routing.loads import EdgeLoads
+from repro.topology.base import is_switch
+from repro.topology.library import make_topology
+from repro.topology.torus import cyclic_arc
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# cyclic arcs
+# ----------------------------------------------------------------------
+@given(
+    a=st.integers(0, 9),
+    b=st.integers(0, 9),
+    size=st.integers(3, 10),
+    wraps=st.booleans(),
+)
+def test_cyclic_arc_endpoints_and_bounds(a, b, size, wraps):
+    a %= size
+    b %= size
+    arc = cyclic_arc(a, b, size, wraps)
+    assert arc[0] == a and arc[-1] == b
+    assert all(0 <= x < size for x in arc)
+    assert len(set(arc)) == len(arc)  # no repeats
+
+
+@given(a=st.integers(0, 9), b=st.integers(0, 9), size=st.integers(3, 10))
+def test_cyclic_arc_never_longer_than_direct(a, b, size):
+    a %= size
+    b %= size
+    wrapped = cyclic_arc(a, b, size, wraps=True)
+    direct = cyclic_arc(a, b, size, wraps=False)
+    assert len(wrapped) <= len(direct)
+
+
+# ----------------------------------------------------------------------
+# EdgeLoads
+# ----------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5),
+                  st.floats(0.1, 100.0)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_edge_loads_total_is_sum(entries):
+    loads = EdgeLoads()
+    expected = 0.0
+    for u, v, value in entries:
+        loads.add(("n", u), ("n", v), value)
+        expected += value
+    assert math.isclose(loads.total, expected, rel_tol=1e-9)
+    assert loads.max_load() <= loads.total + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Pareto front
+# ----------------------------------------------------------------------
+points_strategy = st.lists(
+    st.tuples(st.floats(1.0, 100.0), st.floats(1.0, 100.0)),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(points_strategy)
+def test_pareto_front_is_non_dominated_and_complete(raw):
+    points = [
+        ParetoPoint(area_mm2=a, power_mw=p, avg_hops=0.0, assignment=(i,))
+        for i, (a, p) in enumerate(raw)
+    ]
+    front = pareto_front(points)
+    assert front
+    # No front member is dominated by any point.
+    for f in front:
+        assert not any(p.dominates(f) for p in points)
+    # Every non-front point is dominated by some front member or ties.
+    for p in points:
+        if p not in front:
+            assert any(
+                f.dominates(p) or (f.area_mm2 == p.area_mm2
+                                   and f.power_mw == p.power_mw)
+                for f in front
+            )
+
+
+# ----------------------------------------------------------------------
+# greedy mapping + routing on random applications
+# ----------------------------------------------------------------------
+app_params = st.tuples(
+    st.integers(4, 10),   # cores
+    st.integers(0, 1000),  # seed
+)
+
+
+@SLOW
+@given(app_params, st.sampled_from(["mesh", "torus", "hypercube", "clos"]))
+def test_greedy_mapping_is_injective_on_random_apps(params, topo_name):
+    n_cores, seed = params
+    app = random_core_graph(n_cores, seed=seed)
+    topo = make_topology(topo_name, n_cores)
+    assignment = initial_greedy_mapping(app, topo)
+    assert set(assignment) == set(range(n_cores))
+    slots = list(assignment.values())
+    assert len(set(slots)) == len(slots)
+
+
+@SLOW
+@given(app_params, st.sampled_from(["MP", "SM", "SA"]))
+def test_routing_conserves_flow_on_random_apps(params, code):
+    n_cores, seed = params
+    app = random_core_graph(n_cores, seed=seed)
+    topo = make_topology("mesh", n_cores)
+    assignment = initial_greedy_mapping(app, topo)
+    result = make_routing(code).route_all(
+        topo, assignment, app.commodities()
+    )
+    for rc in result.routed:
+        assert rc.validate_conservation()
+        for path, bw in rc.paths:
+            assert bw > 0
+            for u, v in zip(path, path[1:]):
+                assert topo.graph.has_edge(u, v)
+
+
+@SLOW
+@given(app_params)
+def test_evaluation_metrics_sane_on_random_apps(params):
+    n_cores, seed = params
+    app = random_core_graph(n_cores, seed=seed)
+    topo = make_topology("mesh", n_cores)
+    assignment = initial_greedy_mapping(app, topo)
+    ev = evaluate_mapping(
+        app, topo, assignment, make_routing("MP"),
+        Constraints().relaxed(), with_floorplan=False,
+    )
+    assert ev.avg_hops >= 2.0  # two switches minimum per flow
+    assert ev.max_link_load > 0
+    assert ev.bandwidth_feasible  # relaxed constraints
+
+
+@SLOW
+@given(app_params)
+def test_floorplan_legal_on_random_apps(params):
+    from repro.floorplan.lp import floorplan_mapping
+
+    n_cores, seed = params
+    app = random_core_graph(n_cores, seed=seed)
+    topo = make_topology("mesh", n_cores)
+    assignment = initial_greedy_mapping(app, topo)
+    fp = floorplan_mapping(topo, assignment, app)
+    fp.validate()
+    assert fp.area_mm2 >= app.total_core_area()
+
+
+# ----------------------------------------------------------------------
+# hop distances
+# ----------------------------------------------------------------------
+@given(
+    st.sampled_from(["mesh", "torus", "hypercube", "ring"]),
+    st.integers(0, 11),
+    st.integers(0, 11),
+)
+def test_direct_topology_distance_symmetry(topo_name, s, d):
+    topo = make_topology(topo_name, 12)
+    s %= topo.num_slots
+    d %= topo.num_slots
+    assert topo.hop_distance(s, d) == topo.hop_distance(d, s)
+
+
+@given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 15))
+def test_mesh_triangle_inequality(a, b, c):
+    topo = make_topology("mesh", 16)
+    ab = topo.hop_distance(a, b)
+    bc = topo.hop_distance(b, c)
+    ac = topo.hop_distance(a, c)
+    # Switch-count distances: concatenating routes shares switch b.
+    if a != b and b != c:
+        assert ac <= ab + bc - 1

@@ -1,0 +1,175 @@
+"""End-to-end reproduction scenarios (the paper's Section 6 narratives).
+
+These are the integration tests that pin the headline results:
+
+* VOPD: butterfly is feasible and wins (Section 6.1, Figure 6);
+* MPEG4: min-path fails everywhere, butterfly has no feasible mapping,
+  mesh beats torus on area and power (Section 6.1, Figure 7(b));
+* DSP filter: butterfly selected and generated with 4 switches
+  (Section 6.4, Figure 10(b)).
+"""
+
+import pytest
+
+from repro.core.constraints import Constraints
+from repro.core.mapper import MapperConfig
+from repro.core.selector import select_topology
+from repro.errors import MappingInfeasibleError
+from repro.sunmap import run_sunmap
+
+CONVERGE = MapperConfig(converge=True, max_rounds=10)
+
+
+@pytest.fixture(scope="module")
+def vopd_selection():
+    from repro.apps import vopd
+
+    return select_topology(
+        vopd(), routing="MP", objective="hops", config=CONVERGE
+    )
+
+
+@pytest.fixture(scope="module")
+def mpeg4_sm_selection():
+    from repro.apps import mpeg4
+
+    return select_topology(
+        mpeg4(), routing="SM", objective="power", config=CONVERGE
+    )
+
+
+class TestVopd:
+    def test_butterfly_wins_on_hops(self, vopd_selection):
+        assert vopd_selection.best_name.startswith("butterfly")
+
+    def test_all_five_topologies_feasible(self, vopd_selection):
+        assert len(vopd_selection.feasible) == 5
+
+    def test_hop_ordering_matches_figure_6a(self, vopd_selection):
+        evs = vopd_selection.evaluations
+        hops = {name.split("-")[0]: ev.avg_hops for name, ev in evs.items()}
+        assert hops["butterfly"] == pytest.approx(2.0)
+        assert hops["clos"] == pytest.approx(3.0)
+        assert hops["butterfly"] <= hops["torus"] <= hops["mesh"] + 0.2
+        assert hops["mesh"] < hops["clos"]
+
+    def test_butterfly_least_switches_figure_6b(self, vopd_selection):
+        evs = vopd_selection.evaluations
+        res = {n.split("-")[0]: ev.resources for n, ev in evs.items()}
+        bfly = res["butterfly"].num_switches
+        assert all(
+            bfly <= r.num_switches for r in res.values()
+        )
+        # ... but more links than the mesh (paper Fig. 6(b)).
+        assert res["butterfly"].num_links > res["mesh"].num_links
+
+    def test_mesh_cheaper_than_torus_figure_3d(self, vopd_selection):
+        evs = {n.split("-")[0]: ev for n, ev in vopd_selection.evaluations.items()}
+        mesh, torus = evs["mesh"], evs["torus"]
+        # Torus buys ~10% delay with more area and power (ratios 0.9 /
+        # 1.06 / 1.22 in the paper's Figure 3(d)).
+        assert torus.avg_hops < mesh.avg_hops
+        assert 1.0 < torus.area_mm2 / mesh.area_mm2 < 1.25
+        assert 1.02 < torus.power_mw / mesh.power_mw < 1.5
+
+    def test_butterfly_lowest_power_figure_6d(self, vopd_selection):
+        evs = {n.split("-")[0]: ev for n, ev in vopd_selection.evaluations.items()}
+        bfly_power = evs["butterfly"].power_mw
+        for name, ev in evs.items():
+            if name != "butterfly":
+                assert bfly_power < ev.power_mw
+
+    def test_butterfly_lowest_area_figure_6c(self, vopd_selection):
+        evs = {n.split("-")[0]: ev for n, ev in vopd_selection.evaluations.items()}
+        bfly_area = evs["butterfly"].area_mm2
+        for name, ev in evs.items():
+            if name != "butterfly":
+                assert bfly_area <= ev.area_mm2 + 1e-6
+
+
+class TestMpeg4:
+    def test_min_path_infeasible_everywhere(self):
+        from repro.apps import mpeg4
+
+        selection = select_topology(
+            mpeg4(), routing="MP", objective="hops",
+            config=MapperConfig(converge=False),
+        )
+        assert selection.best is None
+
+    def test_butterfly_has_no_feasible_mapping(self, mpeg4_sm_selection):
+        names = {
+            n.split("-")[0]
+            for n, ev in mpeg4_sm_selection.evaluations.items()
+            if not ev.feasible
+        }
+        assert "butterfly" in names
+
+    def test_other_topologies_feasible_with_split(self, mpeg4_sm_selection):
+        feasible = {
+            n.split("-")[0] for n in mpeg4_sm_selection.feasible
+        }
+        assert feasible == {"mesh", "torus", "hypercube", "clos"}
+
+    def test_power_winner_is_mesh_or_clos_figure_7b(self, mpeg4_sm_selection):
+        """The paper's own Fig. 7(b) table has Clos at the lowest power
+        (445.4 mW vs mesh 504.1) while the narrative picks mesh on the
+        combined area/power/delay judgment; torus and hypercube are
+        dominated either way."""
+        best = mpeg4_sm_selection.best_name
+        assert best.startswith("mesh") or best.startswith("clos")
+
+    def test_mesh_beats_torus_on_area_and_power(self, mpeg4_sm_selection):
+        evs = {
+            n.split("-")[0]: ev
+            for n, ev in mpeg4_sm_selection.evaluations.items()
+        }
+        assert evs["mesh"].area_mm2 < evs["torus"].area_mm2
+        assert evs["mesh"].power_mw < evs["torus"].power_mw
+        assert evs["mesh"].area_mm2 < evs["hypercube"].area_mm2
+
+
+class TestDsp:
+    def test_butterfly_selected_and_generated(self, dsp_app):
+        report = run_sunmap(
+            dsp_app,
+            routing="MP",
+            objective="hops",
+            constraints=Constraints(link_capacity_mb_s=1000.0),
+            config=CONVERGE,
+        )
+        assert report.best_topology_name.startswith("butterfly")
+        # Figure 10(b): only 4 of the six 3x3 switches remain.
+        assert len(report.netlist.switches) == 4
+        assert all(s.n_in == 3 and s.n_out == 3 for s in report.netlist.switches)
+        assert "sc_main" in report.systemc
+
+    def test_fallback_escalates_to_split_routing(self, dsp_app):
+        report = run_sunmap(
+            dsp_app,
+            routing="MP",
+            objective="hops",
+            constraints=Constraints(link_capacity_mb_s=500.0),
+            config=MapperConfig(converge=False),
+        )
+        assert report.selection.routing_code in ("SM", "SA")
+        assert len(report.attempted_routings) >= 2
+
+    def test_impossible_everywhere_raises(self, dsp_app):
+        with pytest.raises(MappingInfeasibleError):
+            run_sunmap(
+                dsp_app,
+                constraints=Constraints(link_capacity_mb_s=1.0),
+                config=MapperConfig(converge=False, max_rounds=1),
+            )
+
+    def test_generate_false_returns_report_without_netlist(self, dsp_app):
+        report = run_sunmap(
+            dsp_app,
+            constraints=Constraints(link_capacity_mb_s=1.0),
+            config=MapperConfig(converge=False, max_rounds=1),
+            generate=False,
+        )
+        assert report.best is None
+        assert report.netlist is None
+        assert "NO FEASIBLE" in report.summary()

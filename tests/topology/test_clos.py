@@ -1,0 +1,91 @@
+"""3-stage Clos behaviour (Figure 2(a), Sections 4.2/6.2)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.base import is_switch, switch, term
+from repro.topology.clos import ClosTopology
+
+
+class TestSizing:
+    def test_paper_figure_sizing_8_cores(self):
+        """Figure 2(a): 8 cores -> 4 switches per stage, 2 cores each."""
+        topo = ClosTopology.for_cores(8)
+        assert (topo.n, topo.r, topo.m) == (2, 4, 4)
+
+    @pytest.mark.parametrize("n_cores", [6, 8, 12, 16, 24])
+    def test_slots_cover_cores(self, n_cores):
+        topo = ClosTopology.for_cores(n_cores)
+        assert topo.num_slots >= n_cores
+
+    def test_explicit_parameters(self):
+        topo = ClosTopology(m=3, n=2, r=5)
+        assert topo.num_slots == 10
+        assert len(topo.switches) == 5 + 3 + 5
+
+    def test_bad_parameters(self):
+        with pytest.raises(TopologyError):
+            ClosTopology(m=0, n=2, r=2)
+        with pytest.raises(TopologyError):
+            ClosTopology(m=2, n=1, r=1)
+
+
+class TestStructure:
+    def test_full_interstage_connectivity(self):
+        """Every stage-1 switch connects to every middle switch."""
+        topo = ClosTopology.for_cores(8)
+        for i in range(topo.r):
+            for j in range(topo.m):
+                assert topo.graph.has_edge(
+                    switch(("in", i)), switch(("mid", j))
+                )
+                assert topo.graph.has_edge(
+                    switch(("mid", j)), switch(("out", i))
+                )
+
+    def test_stages_structure(self):
+        topo = ClosTopology.for_cores(12)
+        stages = topo.stages()
+        assert len(stages) == 3
+        assert len(stages[0]) == topo.r
+        assert len(stages[1]) == topo.m
+        assert len(stages[2]) == topo.r
+
+    def test_terminal_attachment(self):
+        topo = ClosTopology(m=4, n=3, r=4)
+        assert topo.ingress_of(0) == switch(("in", 0))
+        assert topo.ingress_of(5) == switch(("in", 1))
+        assert topo.egress_of(11) == switch(("out", 3))
+
+
+class TestPaths:
+    def test_every_pair_is_three_hops(self):
+        """Section 6.1: 'As the clos network has three stages, the
+        average hop delay is three.'"""
+        topo = ClosTopology.for_cores(12)
+        for s in range(topo.num_slots):
+            for d in range(topo.num_slots):
+                if s != d:
+                    assert topo.hop_distance(s, d) == 3
+
+    def test_path_diversity_equals_middle_count(self):
+        topo = ClosTopology.for_cores(8)
+        assert topo.path_diversity(0, 7) == topo.m
+
+    def test_quadrant_contains_all_middles(self):
+        topo = ClosTopology.for_cores(8)
+        nodes = topo.quadrant_nodes(0, 7)
+        mids = [n for n in nodes if is_switch(n) and n[1][0] == "mid"]
+        assert len(mids) == topo.m
+
+    def test_quadrant_single_ingress_egress(self):
+        topo = ClosTopology.for_cores(8)
+        nodes = topo.quadrant_nodes(0, 7)
+        ins = [n for n in nodes if is_switch(n) and n[1][0] == "in"]
+        outs = [n for n in nodes if is_switch(n) and n[1][0] == "out"]
+        assert ins == [switch(("in", 0))]
+        assert outs == [switch(("out", 3))]
+
+    def test_same_edge_switch_still_three_hops(self):
+        topo = ClosTopology.for_cores(8)
+        assert topo.hop_distance(0, 1) == 3

@@ -1,0 +1,119 @@
+"""Heterogeneous / irregular topology modeling (paper future work)."""
+
+import pytest
+
+from repro.core.constraints import Constraints
+from repro.core.mapper import MapperConfig, map_onto
+from repro.errors import TopologyError
+from repro.topology.base import switch, term
+from repro.topology.custom import CustomTopology
+
+
+def dual_hub() -> CustomTopology:
+    """Eight slots concentrated 4-per-hub, two parallel bridge links."""
+    return CustomTopology(
+        name="dual-hub",
+        slot_switch=[0, 0, 0, 0, 1, 1, 1, 1],
+        links=[(0, 1)],
+    )
+
+
+def irregular() -> CustomTopology:
+    """A 5-switch irregular fabric with mixed concentration."""
+    return CustomTopology(
+        name="irregular-5sw",
+        slot_switch=[0, 0, 1, 2, 3, 3, 4],
+        links=[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)],
+        positions={0: (0, 0), 1: (1, 0), 2: (2, 0), 3: (1, 1), 4: (0, 1)},
+    )
+
+
+class TestConstruction:
+    def test_dual_hub_structure(self):
+        topo = dual_hub()
+        topo.validate()
+        assert topo.num_slots == 8
+        assert len(topo.switches) == 2
+        assert topo.concentration() == {0: 4, 1: 4}
+
+    def test_heterogeneous_switch_sizes(self):
+        topo = irregular()
+        sizes = {sw[1]: topo.switch_ports(sw) for sw in topo.switches}
+        # Switch 0: 2 cores + 2 net neighbours = 4x4; switch 2: 1 core
+        # + 2 net = 3x3 — genuinely heterogeneous.
+        assert sizes[0] == (4, 4)
+        assert sizes[2] == (3, 3)
+
+    def test_disconnected_fabric_rejected(self):
+        with pytest.raises(TopologyError):
+            CustomTopology(
+                name="split",
+                slot_switch=[0, 0, 1, 1],
+                links=[],  # two islands
+            )
+
+    def test_self_link_rejected(self):
+        with pytest.raises(TopologyError):
+            CustomTopology(
+                name="selfy", slot_switch=[0, 0], links=[(0, 0)]
+            )
+
+    def test_single_slot_rejected(self):
+        with pytest.raises(TopologyError):
+            CustomTopology(name="one", slot_switch=[0], links=[])
+
+    def test_missing_positions_rejected(self):
+        with pytest.raises(TopologyError):
+            CustomTopology(
+                name="p",
+                slot_switch=[0, 1],
+                links=[(0, 1)],
+                positions={0: (0.0, 0.0)},  # switch 1 missing
+            )
+
+    def test_default_positions_grid(self):
+        topo = dual_hub()
+        assert topo.position(switch(0)) != topo.position(switch(1))
+
+
+class TestBehaviour:
+    def test_same_hub_slots_are_one_hop(self):
+        topo = dual_hub()
+        assert topo.hop_distance(0, 1) == 1  # share the hub switch
+        assert topo.hop_distance(0, 4) == 2  # across the bridge
+
+    def test_quadrant_defaults_to_whole_graph(self):
+        topo = dual_hub()
+        assert topo.quadrant_nodes(0, 4) is None
+
+    def test_mapping_end_to_end(self, tiny_app):
+        topo = dual_hub()
+        ev = map_onto(
+            tiny_app,
+            topo,
+            routing="MP",
+            objective="hops",
+            constraints=Constraints(),
+            config=MapperConfig(converge=False),
+        )
+        assert ev.feasible
+        assert ev.floorplan is not None
+        assert ev.power_mw > 0
+
+    def test_generation_end_to_end(self, tiny_app):
+        from repro.xpipes.netlist import build_netlist
+
+        topo = irregular()
+        assignment = {0: 0, 1: 2, 2: 3, 3: 6}
+        netlist = build_netlist(tiny_app, topo, assignment)
+        netlist.validate()
+        assert len(netlist.switches) == 5
+
+    def test_simulation_end_to_end(self):
+        from repro.simulation import Network, SimConfig, SyntheticTraffic
+
+        topo = irregular()
+        net = Network(topo, SimConfig(seed=4))
+        net.run(800, SyntheticTraffic("uniform", 0.05, seed=5))
+        assert net.drain()
+        assert net.injected_packets == len(net.delivered)

@@ -1,0 +1,104 @@
+"""Extension topologies: octagon, star, ring (Section 1's 'easily
+added' claim)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.base import is_switch, switch, term
+from repro.topology.octagon import OctagonTopology
+from repro.topology.ring import RingTopology
+from repro.topology.star import StarTopology
+
+
+class TestOctagon:
+    def test_eight_slots(self):
+        topo = OctagonTopology()
+        assert topo.num_slots == 8
+        topo.validate()
+
+    def test_rejects_more_than_eight_cores(self):
+        with pytest.raises(TopologyError):
+            OctagonTopology.for_cores(9)
+
+    def test_cross_links_exist(self):
+        topo = OctagonTopology()
+        for i in range(4):
+            assert topo.graph.has_edge(switch(i), switch(i + 4))
+
+    def test_max_two_network_hops(self):
+        """The octagon property: any pair within 3 switches."""
+        topo = OctagonTopology()
+        for s in range(8):
+            for d in range(8):
+                if s != d:
+                    assert topo.hop_distance(s, d) <= 3
+
+    def test_node_degree(self):
+        topo = OctagonTopology()
+        for sw in topo.switches:
+            n_in, _ = topo.switch_ports(sw)
+            assert n_in == 4  # two ring + one cross + core
+
+
+class TestStar:
+    def test_single_hub(self):
+        topo = StarTopology(8)
+        assert len(topo.switches) == 1
+        topo.validate()
+
+    def test_all_pairs_one_hop(self):
+        topo = StarTopology(6)
+        for s in range(6):
+            for d in range(6):
+                if s != d:
+                    assert topo.hop_distance(s, d) == 1
+
+    def test_hub_radix_grows_with_leaves(self):
+        topo = StarTopology(10)
+        assert topo.switch_ports(topo.hub) == (10, 10)
+
+    def test_core_links_constrained(self):
+        assert StarTopology(4).constrain_core_links is True
+
+    def test_dor_path(self):
+        topo = StarTopology(5)
+        assert topo.dor_path(1, 3) == [term(1), topo.hub, term(3)]
+
+    def test_minimum_leaves(self):
+        with pytest.raises(TopologyError):
+            StarTopology(1)
+
+
+class TestRing:
+    def test_structure(self):
+        topo = RingTopology(8)
+        topo.validate()
+        assert topo.num_slots == 8
+        rs = topo.resource_summary()
+        assert rs.num_switches == 8
+        assert rs.num_links == 8 + 8  # ring channels + core links
+
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            RingTopology(2)
+
+    def test_distance_is_shorter_arc(self):
+        topo = RingTopology(8)
+        assert topo.hop_distance(0, 1) == 2
+        assert topo.hop_distance(0, 4) == 5
+        assert topo.hop_distance(0, 7) == 2  # wrap
+
+    def test_quadrant_is_shorter_arc(self):
+        topo = RingTopology(8)
+        nodes = topo.quadrant_nodes(0, 6)
+        switches = sorted(n[1] for n in nodes if is_switch(n))
+        assert switches == [0, 6, 7]
+
+    def test_dateline_edge_marked(self):
+        topo = RingTopology(6)
+        wraps = [
+            (u, v)
+            for u, v, d in topo.graph.edges(data=True)
+            if d.get("wrap")
+        ]
+        assert (switch(5), switch(0)) in wraps

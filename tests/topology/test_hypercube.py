@@ -1,0 +1,90 @@
+"""Hypercube behaviour: adjacency, subcube quadrants, e-cube routing."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.base import is_switch, switch, term
+from repro.topology.hypercube import HypercubeTopology
+
+
+class TestSizing:
+    @pytest.mark.parametrize("n,dims", [(12, 4), (16, 4), (8, 3), (6, 3), (2, 1)])
+    def test_for_cores(self, n, dims):
+        topo = HypercubeTopology.for_cores(n)
+        assert topo.dimensions == dims
+        assert topo.num_slots == 2**dims
+
+    def test_bad_dimensions(self):
+        with pytest.raises(TopologyError):
+            HypercubeTopology(0)
+
+
+class TestAdjacency:
+    def test_neighbors_differ_in_one_bit(self):
+        topo = HypercubeTopology(3)
+        for u, v, d in topo.graph.edges(data=True):
+            if d["kind"] != "net":
+                continue
+            diff = u[1] ^ v[1]
+            assert diff != 0 and diff & (diff - 1) == 0
+
+    def test_node_degree_is_dimension(self):
+        topo = HypercubeTopology(4)
+        for sw in topo.switches:
+            n_in, n_out = topo.switch_ports(sw)
+            assert n_in == topo.dimensions + 1  # + core port
+
+    def test_paper_example_adjacency(self):
+        """Node 6 (1,1,0) is adjacent to node 2 (0,1,0) — Section 4.2."""
+        topo = HypercubeTopology(3)
+        assert topo.graph.has_edge(switch(6), switch(2))
+
+    def test_hop_distance_is_hamming_plus_one(self):
+        topo = HypercubeTopology(4)
+        assert topo.hop_distance(0, 15) == 5  # Hamming 4 -> 5 switches
+        assert topo.hop_distance(0, 1) == 2
+        assert topo.hop_distance(5, 6) == 3  # Hamming 2
+
+
+class TestQuadrant:
+    def test_paper_example_quadrant(self):
+        """Source 0=(0,0,0), dest 3=(0,1,1) -> nodes {0,1,2,3}."""
+        topo = HypercubeTopology(3)
+        nodes = topo.quadrant_nodes(0, 3)
+        switches = sorted(n[1] for n in nodes if is_switch(n))
+        assert switches == [0, 1, 2, 3]
+
+    def test_quadrant_size_is_power_of_two(self):
+        topo = HypercubeTopology(4)
+        for s, d in [(0, 15), (3, 5), (7, 8)]:
+            nodes = topo.quadrant_nodes(s, d)
+            n_switches = sum(1 for n in nodes if is_switch(n))
+            hamming = bin(s ^ d).count("1")
+            assert n_switches == 2**hamming
+
+    def test_adjacent_pair_quadrant_is_two_switches(self):
+        topo = HypercubeTopology(4)
+        nodes = topo.quadrant_nodes(0, 8)
+        assert sum(1 for n in nodes if is_switch(n)) == 2
+
+
+class TestEcube:
+    def test_path_fixes_lowest_bits_first(self):
+        topo = HypercubeTopology(3)
+        path = topo.dor_path(0, 5)  # bits 0 and 2
+        switches = [n[1] for n in path if is_switch(n)]
+        assert switches == [0, 1, 5]
+
+    def test_path_minimal_and_valid(self):
+        topo = HypercubeTopology(4)
+        for src, dst in [(0, 15), (2, 13), (6, 9)]:
+            path = topo.dor_path(src, dst)
+            for u, v in zip(path, path[1:]):
+                assert topo.graph.has_edge(u, v)
+            hops = sum(1 for n in path if is_switch(n))
+            assert hops == topo.hop_distance(src, dst)
+
+    def test_same_node_path(self):
+        topo = HypercubeTopology(3)
+        path = topo.dor_path(4, 4)
+        assert path == [term(4), switch(4), term(4)]

@@ -1,0 +1,115 @@
+"""Mesh-specific behaviour (Figure 1(a), Sections 4.2/4.3)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.base import is_switch, switch, term
+from repro.topology.mesh import MeshTopology
+
+
+class TestSizing:
+    @pytest.mark.parametrize(
+        "n,rows,cols",
+        [(12, 3, 4), (16, 4, 4), (6, 2, 3), (14, 3, 5), (9, 3, 3), (2, 1, 2)],
+    )
+    def test_for_cores_near_square(self, n, rows, cols):
+        topo = MeshTopology.for_cores(n)
+        assert (topo.rows, topo.cols) == (rows, cols)
+        assert topo.num_slots >= n
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(TopologyError):
+            MeshTopology(0, 3)
+        with pytest.raises(TopologyError):
+            MeshTopology(1, 1)
+
+    def test_for_single_core_rejected(self):
+        with pytest.raises(TopologyError):
+            MeshTopology.for_cores(1)
+
+
+class TestDegrees:
+    def test_port_counts_vary_with_position(self):
+        """Corners are 3x3, edges 4x4, interior 5x5 (with core port)."""
+        topo = MeshTopology(3, 4)
+        corner = topo.switch_ports(switch(0))
+        edge = topo.switch_ports(switch(1))
+        interior = topo.switch_ports(switch(5))
+        assert corner == (3, 3)
+        assert edge == (4, 4)
+        assert interior == (5, 5)
+
+    def test_resource_counts_3x4(self):
+        topo = MeshTopology(3, 4)
+        rs = topo.resource_summary()
+        assert rs.num_switches == 12
+        # 17 bidirectional mesh channels + 12 core links.
+        assert rs.num_links == 17 + 12
+
+
+class TestCells:
+    def test_cell_round_trip(self):
+        topo = MeshTopology(3, 4)
+        for slot in range(12):
+            r, c = topo.slot_cell(slot)
+            assert topo.cell_slot(r, c) == slot
+
+    def test_cell_out_of_range(self):
+        topo = MeshTopology(3, 4)
+        with pytest.raises(TopologyError):
+            topo.slot_cell(12)
+
+
+class TestQuadrant:
+    def test_quadrant_is_bounding_box(self):
+        topo = MeshTopology(3, 4)
+        nodes = topo.quadrant_nodes(0, 5)  # (0,0) to (1,1)
+        switches = sorted(n[1] for n in nodes if is_switch(n))
+        assert switches == [0, 1, 4, 5]
+
+    def test_quadrant_row_pair(self):
+        topo = MeshTopology(3, 4)
+        nodes = topo.quadrant_nodes(4, 7)  # same row
+        switches = sorted(n[1] for n in nodes if is_switch(n))
+        assert switches == [4, 5, 6, 7]
+
+    def test_quadrant_single_cell(self):
+        topo = MeshTopology(3, 4)
+        nodes = topo.quadrant_nodes(6, 6)
+        assert switch(6) in nodes
+
+    def test_quadrant_smaller_than_graph(self):
+        """The computational-saving claim of Section 4.1."""
+        topo = MeshTopology.for_cores(64)
+        quad = topo.quadrant_nodes(0, 9)  # (0,0) to (1,1)
+        assert len(quad) < topo.graph.number_of_nodes() / 4
+
+
+class TestDorPath:
+    def test_dor_is_x_first(self):
+        topo = MeshTopology(3, 4)
+        path = topo.dor_path(0, 6)  # (0,0) -> (1,2)
+        switches = [n[1] for n in path if is_switch(n)]
+        assert switches == [0, 1, 2, 6]
+
+    def test_dor_endpoints_are_terminals(self):
+        topo = MeshTopology(3, 4)
+        path = topo.dor_path(2, 9)
+        assert path[0] == term(2) and path[-1] == term(9)
+
+    def test_dor_path_length_is_minimal(self):
+        topo = MeshTopology(4, 4)
+        for src, dst in [(0, 15), (3, 12), (5, 10)]:
+            switches = sum(1 for n in topo.dor_path(src, dst) if is_switch(n))
+            assert switches == topo.hop_distance(src, dst)
+
+    def test_dor_edges_exist(self):
+        topo = MeshTopology(3, 4)
+        path = topo.dor_path(0, 11)
+        for u, v in zip(path, path[1:]):
+            assert topo.graph.has_edge(u, v)
+
+    def test_hop_distance_is_manhattan_plus_one(self):
+        topo = MeshTopology(3, 4)
+        assert topo.hop_distance(0, 1) == 2  # adjacent = 2 switches (paper)
+        assert topo.hop_distance(0, 11) == 6  # (0,0)->(2,3): 5 links

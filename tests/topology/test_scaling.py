@@ -1,0 +1,109 @@
+"""Topology construction at larger scales (sizing laws, invariants)."""
+
+import pytest
+
+from repro.topology.base import is_switch, term
+from repro.topology.butterfly import ButterflyTopology
+from repro.topology.clos import ClosTopology
+from repro.topology.hypercube import HypercubeTopology
+from repro.topology.library import make_topology, standard_library
+from repro.topology.mesh import MeshTopology
+from repro.topology.torus import TorusTopology
+
+
+class TestMeshScaling:
+    @pytest.mark.parametrize("n", [20, 30, 48, 64])
+    def test_slot_count_and_shape(self, n):
+        topo = MeshTopology.for_cores(n)
+        assert topo.num_slots >= n
+        assert topo.cols - topo.rows <= 2  # near-square
+
+    def test_link_count_formula(self):
+        for rows, cols in [(4, 4), (5, 6), (8, 8)]:
+            topo = MeshTopology(rows, cols)
+            expected = rows * (cols - 1) + cols * (rows - 1)
+            assert len(topo.net_edges()) == 2 * expected
+
+    def test_64_node_distances(self):
+        topo = MeshTopology(8, 8)
+        assert topo.hop_distance(0, 63) == 15  # 14 links + 1
+
+
+class TestTorusScaling:
+    def test_every_switch_degree_four(self):
+        topo = TorusTopology(5, 5)
+        for sw in topo.switches:
+            assert topo.switch_ports(sw) == (5, 5)
+
+    def test_diameter_halved_vs_mesh(self):
+        mesh = MeshTopology(6, 6)
+        torus = TorusTopology(6, 6)
+        mesh_diam = max(
+            mesh.hop_distance(0, j) for j in range(36)
+        )
+        torus_diam = max(
+            torus.hop_distance(0, j) for j in range(36)
+        )
+        assert torus_diam <= (mesh_diam + 2) // 2 + 1
+
+
+class TestButterflyScaling:
+    @pytest.mark.parametrize("k,n", [(2, 4), (3, 3), (4, 3), (8, 2)])
+    def test_structure_counts(self, k, n):
+        topo = ButterflyTopology(k=k, n=n)
+        assert topo.num_slots == k**n
+        assert len(topo.switches) == n * k ** (n - 1)
+        assert len(topo.net_edges()) == (n - 1) * k**n
+
+    @pytest.mark.parametrize("k,n", [(2, 4), (3, 3), (4, 3)])
+    def test_unique_paths_at_scale(self, k, n):
+        topo = ButterflyTopology(k=k, n=n)
+        slots = topo.num_slots
+        for s, d in [(0, slots - 1), (1, slots // 2), (slots - 1, 0)]:
+            path = topo.unique_path(s, d)
+            assert path[0] == term(s) and path[-1] == term(d)
+            assert sum(1 for x in path if is_switch(x)) == n
+            for u, v in zip(path, path[1:]):
+                assert topo.graph.has_edge(u, v)
+
+
+class TestClosScaling:
+    @pytest.mark.parametrize("n_cores", [8, 12, 16, 24, 32])
+    def test_sizing_keeps_stages_reasonable(self, n_cores):
+        topo = ClosTopology.for_cores(n_cores)
+        assert topo.num_slots >= n_cores
+        assert 2 <= topo.m <= 8
+        # All pairs still exactly 3 hops.
+        assert topo.hop_distance(0, topo.num_slots - 1) == 3
+
+    def test_middle_capacity_scales(self):
+        topo = ClosTopology.for_cores(32)
+        n_in, n_out = topo.switch_ports(topo.stages()[1][0])
+        assert n_in == topo.r and n_out == topo.r
+
+
+class TestHypercubeScaling:
+    def test_six_dimensional(self):
+        topo = HypercubeTopology(6)
+        assert topo.num_slots == 64
+        assert len(topo.net_edges()) == 64 * 6  # directed
+        assert topo.hop_distance(0, 63) == 7
+
+
+class TestLibraryScaling:
+    @pytest.mark.parametrize("n", [6, 12, 16, 24, 32])
+    def test_standard_library_always_fits(self, n):
+        for topo in standard_library(n):
+            assert topo.fits(n)
+            topo.validate()
+
+    def test_quadrants_shrink_relative_to_graph(self):
+        """The larger the NoC, the bigger the quadrant saving."""
+        small = make_topology("mesh", 12)
+        large = make_topology("mesh", 64)
+
+        def ratio(topo):
+            quad = topo.quadrant_nodes(0, topo.cols + 1)  # small box
+            return len(quad) / topo.graph.number_of_nodes()
+
+        assert ratio(large) < ratio(small)

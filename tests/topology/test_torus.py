@@ -1,0 +1,117 @@
+"""Torus-specific behaviour: wrap channels, arcs, quadrants, DOR."""
+
+import pytest
+
+from repro.topology.base import is_switch, switch, term
+from repro.topology.torus import TorusTopology, cyclic_arc
+
+
+class TestCyclicArc:
+    def test_direct_when_no_wrap(self):
+        assert cyclic_arc(0, 3, 4, wraps=False) == [0, 1, 2, 3]
+        assert cyclic_arc(3, 0, 4, wraps=False) == [3, 2, 1, 0]
+
+    def test_wrap_shortcut_taken(self):
+        assert cyclic_arc(0, 3, 4, wraps=True) == [0, 3]
+        assert cyclic_arc(3, 0, 4, wraps=True) == [3, 0]
+
+    def test_tie_prefers_direct(self):
+        assert cyclic_arc(0, 2, 4, wraps=True) == [0, 1, 2]
+
+    def test_single_point(self):
+        assert cyclic_arc(2, 2, 5, wraps=True) == [2]
+
+    def test_arc_starts_and_ends_correctly(self):
+        for a in range(5):
+            for b in range(5):
+                arc = cyclic_arc(a, b, 5, wraps=True)
+                assert arc[0] == a and arc[-1] == b
+
+
+class TestStructure:
+    def test_every_switch_is_5x5_in_3x4(self):
+        topo = TorusTopology(3, 4)
+        for sw in topo.switches:
+            assert topo.switch_ports(sw) == (5, 5)
+
+    def test_wrap_edges_marked_and_long(self):
+        topo = TorusTopology(3, 4)
+        wraps = [
+            (u, v, d)
+            for u, v, d in topo.graph.edges(data=True)
+            if d.get("wrap")
+        ]
+        assert wraps, "3x4 torus must have wrap channels"
+        for _, _, d in wraps:
+            assert d["length"] >= 2.0
+
+    def test_small_dimension_has_no_wrap(self):
+        topo = TorusTopology(2, 3)
+        for u, v, d in topo.graph.edges(data=True):
+            if d.get("wrap"):
+                assert d["length"] >= 2.0
+        # rows == 2: no row wrap channels (would duplicate edges)
+        assert not any(
+            d.get("wrap")
+            and topo.slot_cell(u[1])[1] == topo.slot_cell(v[1])[1]
+            for u, v, d in topo.graph.edges(data=True)
+            if is_switch(u) and is_switch(v)
+        )
+
+    def test_resource_counts_3x4(self):
+        topo = TorusTopology(3, 4)
+        rs = topo.resource_summary()
+        assert rs.num_switches == 12
+        # 24 bidirectional channels (every node degree 4) + 12 core links.
+        assert rs.num_links == 24 + 12
+
+    def test_torus_distance_never_exceeds_mesh(self):
+        from repro.topology.mesh import MeshTopology
+
+        mesh = MeshTopology(3, 4)
+        torus = TorusTopology(3, 4)
+        for s in range(12):
+            for d in range(12):
+                if s != d:
+                    assert torus.hop_distance(s, d) <= mesh.hop_distance(s, d)
+
+
+class TestQuadrant:
+    def test_wraparound_quadrant_is_small(self):
+        topo = TorusTopology(3, 4)
+        nodes = topo.quadrant_nodes(0, 11)  # corners, wrap in both dims
+        switches = sorted(n[1] for n in nodes if is_switch(n))
+        assert switches == [0, 3, 8, 11]
+
+    def test_quadrant_matches_mesh_when_no_wrap_helps(self):
+        topo = TorusTopology(3, 4)
+        nodes = topo.quadrant_nodes(0, 5)
+        switches = sorted(n[1] for n in nodes if is_switch(n))
+        assert switches == [0, 1, 4, 5]
+
+
+class TestDorPath:
+    def test_dor_uses_wrap_shortcut(self):
+        topo = TorusTopology(3, 4)
+        path = topo.dor_path(0, 3)  # (0,0)->(0,3): wrap is 1 hop
+        switches = [n[1] for n in path if is_switch(n)]
+        assert switches == [0, 3]
+
+    def test_dor_both_dimensions(self):
+        topo = TorusTopology(3, 4)
+        path = topo.dor_path(0, 11)  # (0,0)->(2,3): wrap both ways
+        switches = [n[1] for n in path if is_switch(n)]
+        assert switches == [0, 3, 11]
+
+    def test_dor_minimal(self):
+        topo = TorusTopology(4, 4)
+        for src, dst in [(0, 15), (1, 14), (5, 10)]:
+            hops = sum(1 for n in topo.dor_path(src, dst) if is_switch(n))
+            assert hops == topo.hop_distance(src, dst)
+
+    def test_dor_edges_exist(self):
+        topo = TorusTopology(3, 4)
+        for dst in range(1, 12):
+            path = topo.dor_path(0, dst)
+            for u, v in zip(path, path[1:]):
+                assert topo.graph.has_edge(u, v)
