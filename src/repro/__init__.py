@@ -31,6 +31,12 @@ from repro.core import (
     map_onto,
     select_topology,
 )
+from repro.engine import (
+    EvaluationCache,
+    EvaluationJob,
+    ExplorationEngine,
+    JobResult,
+)
 from repro.errors import (
     FloorplanError,
     GenerationError,
@@ -74,6 +80,10 @@ __all__ = [
     "map_onto",
     "evaluate_mapping",
     "select_topology",
+    "ExplorationEngine",
+    "EvaluationJob",
+    "EvaluationCache",
+    "JobResult",
     "run_sunmap",
     "SunmapReport",
     "Topology",

@@ -23,8 +23,9 @@ from repro.core.exploration import (
     area_power_exploration,
     minimum_bandwidth_per_routing,
 )
-from repro.core.mapper import MapperConfig, map_onto
+from repro.core.mapper import map_onto
 from repro.core.selector import select_topology
+from repro.engine.engine import ExplorationEngine
 from repro.errors import ReproError
 from repro.physical.library import AreaPowerLibrary
 from repro.simulation.stats import run_measurement
@@ -34,11 +35,7 @@ from repro.simulation.traffic import (
     adversarial_pattern,
 )
 from repro.sunmap import run_sunmap
-from repro.topology.library import (
-    available_topologies,
-    make_topology,
-    standard_library,
-)
+from repro.topology.library import available_topologies, make_topology
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -61,6 +58,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--capacity", type=float, default=500.0,
         help="link capacity in MB/s (paper default 500)",
+    )
+
+
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parallel worker processes (1 = serial, 0 = one per CPU); "
+        "results are identical to the serial run",
     )
 
 
@@ -143,6 +148,7 @@ def cmd_select(args) -> int:
             objective=args.objective,
             constraints=_constraints(args),
             generate=False,
+            jobs=args.jobs,
         )
         print(report.summary())
         return 0
@@ -151,6 +157,7 @@ def cmd_select(args) -> int:
         routing=args.routing,
         objective=args.objective,
         constraints=_constraints(args),
+        jobs=args.jobs,
     )
     if args.markdown:
         from repro.report import selection_to_markdown
@@ -170,13 +177,18 @@ def cmd_select(args) -> int:
 def cmd_explore(args) -> int:
     app = _load_app(args)
     topology = make_topology(args.topology, app.num_cores)
+    engine = ExplorationEngine(jobs=args.jobs)
     print(f"minimum link bandwidth per routing function on {topology.name}:")
-    sweep = minimum_bandwidth_per_routing(app, topology)
+    sweep = minimum_bandwidth_per_routing(app, topology, engine=engine)
     for code, value in sweep.items():
         text = "unsupported" if value is None else f"{value:8.1f} MB/s"
         print(f"  {code}: {text}")
     points, front = area_power_exploration(
-        app, topology, routing=args.routing, constraints=_constraints(args)
+        app,
+        topology,
+        routing=args.routing,
+        constraints=_constraints(args),
+        engine=engine,
     )
     print(f"area-power exploration: {len(points)} feasible mappings, "
           f"{len(front)} Pareto points:")
@@ -221,6 +233,7 @@ def cmd_generate(args) -> int:
         objective=args.objective,
         constraints=_constraints(args),
         topologies=topologies,
+        jobs=args.jobs,
     )
     print(report.summary())
     if args.output and report.systemc is not None:
@@ -253,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("select", help="full topology selection")
     _add_common(p)
+    _add_jobs(p)
     p.add_argument(
         "--fallback", action="store_true",
         help="escalate to split routing when nothing is feasible",
@@ -268,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("explore", help="routing sweep + Pareto exploration")
     _add_common(p)
+    _add_jobs(p)
     p.add_argument("--topology", required=True)
 
     p = sub.add_parser("simulate", help="cycle-accurate latency measurement")
@@ -284,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("generate", help="select and emit SystemC")
     _add_common(p)
+    _add_jobs(p)
     p.add_argument("--topology", default=None)
     p.add_argument("--output", "-o", default=None)
     return parser

@@ -12,7 +12,7 @@ commodities in decreasing order of value.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 

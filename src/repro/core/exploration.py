@@ -6,6 +6,11 @@ Two explorations the paper demonstrates on MPEG4/mesh:
   DO/MP/SM/SA needs to carry the application (Figure 9(a));
 * the area-power Pareto points over the set of mappings the swap phase
   evaluates (Figure 9(b)).
+
+Both sweeps submit their candidates through the
+:class:`~repro.engine.ExplorationEngine` — one job per routing function
+(or per explored mapping cloud) — so they parallelize with ``jobs=N``
+and share the engine's evaluation cache with the selection flow.
 """
 
 from __future__ import annotations
@@ -14,9 +19,9 @@ from dataclasses import dataclass
 
 from repro.core.constraints import Constraints
 from repro.core.coregraph import CoreGraph
-from repro.core.evaluate import MappingEvaluation
-from repro.core.mapper import MapperConfig, map_onto
-from repro.errors import UnsupportedRoutingError
+from repro.core.mapper import MapperConfig
+from repro.engine.engine import ExplorationEngine
+from repro.engine.jobs import EvaluationJob
 from repro.routing.library import ROUTING_CODES
 from repro.topology.base import Topology
 
@@ -26,6 +31,8 @@ def minimum_bandwidth_per_routing(
     topology: Topology,
     codes: tuple[str, ...] = ROUTING_CODES,
     config: MapperConfig | None = None,
+    jobs: int = 1,
+    engine: ExplorationEngine | None = None,
 ) -> dict[str, float | None]:
     """Minimum feasible link bandwidth per routing function.
 
@@ -35,21 +42,28 @@ def minimum_bandwidth_per_routing(
     mapping exists. ``None`` marks an unsupported topology/routing pair.
     """
     relaxed = Constraints().relaxed()
+    # Materialize: the sequence is walked twice (job build + reduction).
+    codes = tuple(codes)
+    engine = engine or ExplorationEngine(jobs=jobs)
+    job_list = [
+        EvaluationJob(
+            core_graph=core_graph,
+            topology=topology,
+            routing=code,
+            objective="bandwidth",
+            constraints=relaxed,
+            config=config,
+            tag=code,
+        )
+        for code in codes
+    ]
     results: dict[str, float | None] = {}
-    for code in codes:
-        try:
-            evaluation = map_onto(
-                core_graph,
-                topology,
-                routing=code,
-                objective="bandwidth",
-                constraints=relaxed,
-                config=config,
-            )
-        except UnsupportedRoutingError:
+    for code, result in zip(codes, engine.run(job_list)):
+        if result.is_unsupported_routing():
             results[code] = None
             continue
-        results[code] = evaluation.max_link_load
+        result.raise_if_error()
+        results[code] = result.evaluation.max_link_load
     return results
 
 
@@ -94,6 +108,7 @@ def area_power_exploration(
     routing: str = "SM",
     constraints: Constraints | None = None,
     config: MapperConfig | None = None,
+    engine: ExplorationEngine | None = None,
 ) -> tuple[list[ParetoPoint], list[ParetoPoint]]:
     """All feasible (area, power) mapping points and their Pareto front.
 
@@ -101,16 +116,21 @@ def area_power_exploration(
     evaluated mapping (the paper's "set of Pareto points for the
     mappings from which the optimum design point can be chosen").
     """
-    collected: list[MappingEvaluation] = []
-    map_onto(
-        core_graph,
-        topology,
-        routing=routing,
-        objective="power",
-        constraints=constraints,
-        config=config,
-        collector=collected,
+    engine = engine or ExplorationEngine()
+    result = engine.run_one(
+        EvaluationJob(
+            core_graph=core_graph,
+            topology=topology,
+            routing=routing,
+            objective="power",
+            constraints=constraints,
+            config=config,
+            tag=topology.name,
+            collect=True,
+        )
     )
+    result.raise_if_error()
+    collected = result.collected
     points = [
         ParetoPoint(
             area_mm2=ev.area_mm2,

@@ -4,10 +4,11 @@
 the first phase) are evaluated for several design objectives and the best
 topology is chosen."
 
-:func:`select_topology` runs the mapper on every topology in the library,
-collects the evaluations into a paper-style comparison table (Figures
-6, 7(b), 8(c,d)), and picks the feasible mapping with the lowest
-objective cost.
+:func:`select_topology` submits one evaluation job per library topology
+to the :class:`~repro.engine.ExplorationEngine` (serial by default,
+``jobs=N`` for a process pool), collects the evaluations into a
+paper-style comparison table (Figures 6, 7(b), 8(c,d)), and picks the
+feasible mapping with the lowest objective cost.
 """
 
 from __future__ import annotations
@@ -17,13 +18,9 @@ from dataclasses import dataclass, field
 from repro.core.constraints import Constraints
 from repro.core.coregraph import CoreGraph
 from repro.core.evaluate import MappingEvaluation
-from repro.core.mapper import MapperConfig, map_onto
+from repro.core.mapper import MapperConfig
 from repro.core.objectives import make_objective
-from repro.errors import (
-    MappingInfeasibleError,
-    ReproError,
-    UnsupportedRoutingError,
-)
+from repro.engine.engine import ExplorationEngine
 from repro.physical.estimate import NetworkEstimator
 from repro.topology.base import Topology
 from repro.topology.library import standard_library
@@ -112,6 +109,8 @@ def select_topology(
     constraints: Constraints | None = None,
     estimator: NetworkEstimator | None = None,
     config: MapperConfig | None = None,
+    jobs: int = 1,
+    engine: ExplorationEngine | None = None,
 ) -> SelectionResult:
     """Map onto every library topology and choose the best.
 
@@ -121,6 +120,10 @@ def select_topology(
         objective: an objective name or an
             :class:`~repro.core.objectives.Objective` instance (e.g. a
             :class:`~repro.core.objectives.WeightedObjective`).
+        jobs: parallel worker processes (1 = serial). Results are
+            identical to the serial path regardless of ``jobs``.
+        engine: explicit engine (overrides ``jobs``); pass the same
+            engine across calls to reuse its evaluation cache.
     """
     if isinstance(objective, str):
         make_objective(objective)  # validate the name early
@@ -129,22 +132,24 @@ def select_topology(
         objective_name = objective.name
     if topologies is None:
         topologies = standard_library(core_graph.num_cores)
+    # Materialize: the sequence is walked twice (job build + reduction).
+    topologies = list(topologies)
+    engine = engine or ExplorationEngine(jobs=jobs)
     selection = SelectionResult(
         objective_name=objective_name, routing_code=routing
     )
-    for topology in topologies:
-        try:
-            evaluation = map_onto(
-                core_graph,
-                topology,
-                routing=routing,
-                objective=objective,
-                constraints=constraints,
-                estimator=estimator,
-                config=config,
-            )
-        except (MappingInfeasibleError, UnsupportedRoutingError) as exc:
-            selection.errors[topology.name] = str(exc)
-            continue
-        selection.evaluations[topology.name] = evaluation
+    job_list = engine.selection_jobs(
+        core_graph,
+        topologies=topologies,
+        routing=routing,
+        objective=objective,
+        constraints=constraints,
+        config=config,
+        estimator=estimator,
+    )
+    for topology, result in zip(topologies, engine.run(job_list)):
+        if result.ok:
+            selection.evaluations[topology.name] = result.evaluation
+        else:
+            selection.errors[topology.name] = result.error
     return selection

@@ -1,0 +1,33 @@
+"""Parallel design-space exploration engine.
+
+Public surface:
+
+* :class:`ExplorationEngine` — job-list execution with memoization and
+  pluggable parallelism (``jobs=1`` serial, ``jobs=N`` process pool);
+* :class:`EvaluationJob` / :class:`JobResult` — one design-space
+  candidate and its outcome;
+* :class:`EvaluationCache` — shared content-keyed result cache;
+* :func:`make_executor`, :class:`SerialExecutor`,
+  :class:`ProcessExecutor` — the executor plugins.
+"""
+
+from repro.engine.cache import CacheStats, EvaluationCache
+from repro.engine.engine import ExplorationEngine
+from repro.engine.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.engine.jobs import EvaluationJob, JobResult, execute_job
+
+__all__ = [
+    "CacheStats",
+    "EvaluationCache",
+    "EvaluationJob",
+    "ExplorationEngine",
+    "JobResult",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "execute_job",
+    "make_executor",
+]

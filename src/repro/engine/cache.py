@@ -1,0 +1,99 @@
+"""Shared memoization of evaluated candidates.
+
+Selection, routing sweeps and the fallback escalation of ``run_sunmap``
+revisit the same (core graph, topology, routing, objective) candidates —
+e.g. a ``select`` after an ``explore`` on the same application, or the
+unchanged topologies when only one library entry was edited. The cache
+keys on content fingerprints (:mod:`repro.engine.fingerprint`), so a hit
+means "bit-identical work", never "same object".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from threading import Lock
+
+from repro.engine.jobs import JobResult
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache (reported by benchmarks/CLI)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits}/{self.lookups} hits "
+            f"({self.hit_rate * 100:.0f}%)"
+        )
+
+
+#: Default cache bound: generous for any realistic sweep (a full
+#: topology × routing × objective grid is tens of entries) while keeping
+#: a long-lived shared engine from growing without bound — collect=True
+#: entries carry the whole evaluated mapping cloud.
+DEFAULT_MAX_ENTRIES = 1024
+
+
+@dataclass
+class EvaluationCache:
+    """In-memory result store keyed by :meth:`EvaluationJob.cache_key`.
+
+    Thread-safe; shared by every run of the engine that owns it. Workers
+    return results to the parent process, which stores them here, so the
+    process executor populates the same cache the serial one does.
+    Oldest entries are evicted beyond ``max_entries`` (``None`` disables
+    the bound, ``0`` disables caching).
+    """
+
+    max_entries: int | None = DEFAULT_MAX_ENTRIES
+    stats: CacheStats = field(default_factory=CacheStats)
+    _store: dict = field(default_factory=dict)
+    _lock: Lock = field(default_factory=Lock, repr=False)
+
+    def get(self, key: tuple) -> JobResult | None:
+        with self._lock:
+            result = self._store.get(key)
+            if result is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            return result
+
+    def note_deduped(self) -> None:
+        """Reclassify the last lookup of a key as a hit: the engine found
+        the same key already queued in the current batch (``get`` had
+        counted it as a miss)."""
+        with self._lock:
+            self.stats.hits += 1
+            self.stats.misses -= 1
+
+    def put(self, key: tuple, result: JobResult) -> None:
+        if self.max_entries == 0:
+            return  # caching disabled
+        with self._lock:
+            if (
+                self.max_entries is not None
+                and key not in self._store
+                and len(self._store) >= self.max_entries
+            ):
+                # Drop the oldest entry (dict preserves insertion order).
+                self._store.pop(next(iter(self._store)))
+            self._store[key] = result
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()

@@ -1,0 +1,171 @@
+"""The parallel design-space exploration engine.
+
+SUNMAP's selection flow is embarrassingly parallel: every candidate
+(topology × routing function × objective) is an independent mapping
+search. :class:`ExplorationEngine` makes that explicit — callers build a
+job list, the engine memoizes repeated work through a shared
+:class:`~repro.engine.cache.EvaluationCache`, executes the remainder
+through a pluggable executor (serial or process pool), and reduces
+results back into submission order so the outcome is independent of
+completion order and worker count.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from itertools import product
+
+from repro.core.constraints import Constraints
+from repro.core.coregraph import CoreGraph
+from repro.core.mapper import MapperConfig
+from repro.engine.cache import EvaluationCache
+from repro.engine.executors import Executor, make_executor
+from repro.engine.jobs import EvaluationJob, JobResult, execute_job
+from repro.topology.base import Topology
+from repro.topology.library import standard_library
+
+
+class ExplorationEngine:
+    """Executes evaluation jobs with memoization and pluggable parallelism.
+
+    Args:
+        jobs: worker count — ``1`` runs serially in-process, ``N > 1``
+            uses a process pool of ``N`` workers, ``0`` sizes the pool to
+            the machine.
+        executor: explicit executor instance (overrides ``jobs``).
+        cache: shared evaluation cache; a private one is created when not
+            given. Pass one engine (or one cache) around to reuse results
+            across selection runs, sweeps and fallback escalations.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        executor: Executor | None = None,
+        cache: EvaluationCache | None = None,
+    ):
+        self.executor = executor or make_executor(jobs)
+        # Not `cache or ...`: an empty cache is falsy (it has __len__).
+        self.cache = cache if cache is not None else EvaluationCache()
+
+    # ------------------------------------------------------------------
+    # core execution
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[EvaluationJob]) -> list[JobResult]:
+        """Execute a batch; results come back in submission order.
+
+        Cache hits are served without executing; duplicate keys within
+        the batch are executed once and fanned out to every submitter.
+        Results are bit-identical across executors: the reduction is by
+        submission index, and per-job seeds are content-derived.
+        """
+        results: list[JobResult | None] = [None] * len(jobs)
+        pending: list[tuple[int, EvaluationJob]] = []
+        keys: dict[int, tuple] = {}
+        first_index_for_key: dict[tuple, int] = {}
+        duplicates: dict[int, list[int]] = {}
+
+        for index, job in enumerate(jobs):
+            key = job.cache_key()
+            hit = self.cache.get(key)
+            if hit is not None:
+                results[index] = hit.retagged(job.tag, cached=True)
+                continue
+            if key in first_index_for_key:
+                # Same work already queued in this batch: piggyback.
+                owner = first_index_for_key[key]
+                duplicates.setdefault(owner, []).append(index)
+                self.cache.note_deduped()
+                continue
+            first_index_for_key[key] = index
+            keys[index] = key
+            pending.append((index, job.pinned(key)))
+
+        for index, result in self.executor.run(execute_job, pending):
+            # The cache keeps the pristine result; every caller-facing
+            # copy goes through retagged() so its collected list is
+            # detached from the cached entry.
+            self.cache.put(keys[index], result)
+            results[index] = result.retagged(jobs[index].tag, cached=False)
+            for dup_index in duplicates.get(index, ()):
+                results[dup_index] = result.retagged(
+                    jobs[dup_index].tag, cached=True
+                )
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def run_one(self, job: EvaluationJob) -> JobResult:
+        """Convenience wrapper for a single candidate."""
+        return self.run([job])[0]
+
+    # ------------------------------------------------------------------
+    # job-list builders
+    # ------------------------------------------------------------------
+    def selection_jobs(
+        self,
+        core_graph: CoreGraph,
+        topologies: Sequence[Topology] | None = None,
+        routing: str = "MP",
+        objective="hops",
+        constraints: Constraints | None = None,
+        config: MapperConfig | None = None,
+        estimator=None,
+    ) -> list[EvaluationJob]:
+        """One job per library topology (the phase-1/2 selection flow)."""
+        if topologies is None:
+            topologies = standard_library(core_graph.num_cores)
+        return [
+            EvaluationJob(
+                core_graph=core_graph,
+                topology=topology,
+                routing=routing,
+                objective=objective,
+                constraints=constraints,
+                config=config,
+                estimator=estimator,
+                tag=topology.name,
+            )
+            for topology in topologies
+        ]
+
+    def sweep(
+        self,
+        core_graph: CoreGraph,
+        topologies: Sequence[Topology] | None = None,
+        routings: Sequence[str] = ("MP",),
+        objectives: Sequence = ("hops",),
+        constraints: Constraints | None = None,
+        config: MapperConfig | None = None,
+        estimator=None,
+    ) -> dict[tuple[str, str, str], JobResult]:
+        """Full grid sweep: one job per topology × routing × objective.
+
+        Returns ``{(topology_name, routing_code, objective_name): result}``
+        with captured infeasible/unsupported outcomes inline (check
+        :attr:`JobResult.ok`).
+        """
+        if topologies is None:
+            topologies = standard_library(core_graph.num_cores)
+        grid = list(product(topologies, routings, objectives))
+        jobs = [
+            EvaluationJob(
+                core_graph=core_graph,
+                topology=topology,
+                routing=routing,
+                objective=objective,
+                constraints=constraints,
+                config=config,
+                estimator=estimator,
+                tag=f"{topology.name}/{routing}/{_objective_name(objective)}",
+            )
+            for topology, routing, objective in grid
+        ]
+        results = self.run(jobs)
+        return {
+            (topology.name, routing, _objective_name(objective)): result
+            for (topology, routing, objective), result in zip(grid, results)
+        }
+
+
+def _objective_name(objective) -> str:
+    return objective if isinstance(objective, str) else objective.name

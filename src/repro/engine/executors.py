@@ -1,0 +1,100 @@
+"""Pluggable job executors: serial in-process and multi-process.
+
+An executor receives ``(index, job)`` pairs and yields ``(index, result)``
+pairs in *any* order — the engine reduces them back into submission order,
+so correctness never depends on completion order. The process executor
+fans jobs out over :class:`concurrent.futures.ProcessPoolExecutor`; jobs
+carry deterministic seeds (:meth:`EvaluationJob.resolved_seed`), so both
+executors produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Iterator
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Protocol
+
+from repro.engine.jobs import EvaluationJob, JobResult
+from repro.errors import ReproError
+
+IndexedJobs = Iterable[tuple[int, EvaluationJob]]
+JobFn = Callable[[EvaluationJob], JobResult]
+
+
+class Executor(Protocol):
+    """Anything that can run evaluation jobs for the engine."""
+
+    name: str
+
+    def run(
+        self, fn: JobFn, indexed_jobs: IndexedJobs
+    ) -> Iterator[tuple[int, JobResult]]:
+        ...
+
+
+class SerialExecutor:
+    """Run every job inline, in submission order (the reference path)."""
+
+    name = "serial"
+
+    def run(
+        self, fn: JobFn, indexed_jobs: IndexedJobs
+    ) -> Iterator[tuple[int, JobResult]]:
+        for index, job in indexed_jobs:
+            yield index, fn(job)
+
+
+class ProcessExecutor:
+    """Fan jobs out over a process pool; yields results as they finish.
+
+    Worker count defaults to the machine's CPU count. Each ``run`` call
+    opens and drains its own pool, so the executor object itself stays
+    picklable and reusable.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ReproError("process executor needs at least one worker")
+        self.max_workers = max_workers or os.cpu_count() or 1
+
+    def run(
+        self, fn: JobFn, indexed_jobs: IndexedJobs
+    ) -> Iterator[tuple[int, JobResult]]:
+        indexed = list(indexed_jobs)
+        if not indexed:
+            return
+        if len(indexed) == 1:
+            # A pool for one job is pure overhead.
+            index, job = indexed[0]
+            yield index, fn(job)
+            return
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = {
+                pool.submit(fn, job): index for index, job in indexed
+            }
+            for future in as_completed(futures):
+                yield futures[future], future.result()
+
+
+def make_executor(jobs: int | None = None, name: str | None = None) -> Executor:
+    """Build an executor from a ``--jobs``-style count or an explicit name.
+
+    ``jobs=1`` (or ``None``) → serial; ``jobs>1`` → process pool with
+    that many workers; ``jobs=0`` → process pool sized to the machine.
+    """
+    if name is not None:
+        if name == "serial":
+            return SerialExecutor()
+        if name == "process":
+            return ProcessExecutor(max_workers=jobs or None)
+        raise ReproError(
+            f"unknown executor {name!r}; choose from ['serial', 'process']"
+        )
+    if jobs is None or jobs == 1:
+        return SerialExecutor()
+    if jobs < 0:
+        raise ReproError(f"jobs must be >= 0, got {jobs}")
+    return ProcessExecutor(max_workers=jobs or None)

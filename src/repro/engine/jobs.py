@@ -1,0 +1,220 @@
+"""Job and result records for the exploration engine.
+
+One :class:`EvaluationJob` is one candidate of the design space — a
+(core graph, topology, routing function, objective) tuple plus the mapper
+knobs — and executing it means running the full Figure-5 mapping search
+for that candidate. Jobs carry everything a worker process needs, so they
+must stay picklable end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.core.constraints import Constraints
+from repro.core.coregraph import CoreGraph
+from repro.core.evaluate import MappingEvaluation
+from repro.core.mapper import MapperConfig, map_onto
+from repro.core.objectives import Objective
+from repro.engine.fingerprint import (
+    config_fingerprint,
+    constraints_fingerprint,
+    core_graph_fingerprint,
+    estimator_fingerprint,
+    objective_fingerprint,
+    topology_fingerprint,
+)
+from repro.errors import (
+    MappingInfeasibleError,
+    ReproError,
+    UnsupportedRoutingError,
+)
+from repro.physical.estimate import NetworkEstimator
+from repro.topology.base import Topology
+
+#: Exceptions the serial flow treats as "this candidate is out", not as a
+#: crash; workers capture them into :attr:`JobResult.error`.
+CAPTURED_ERRORS = (MappingInfeasibleError, UnsupportedRoutingError)
+
+
+@dataclass(frozen=True)
+class EvaluationJob:
+    """One topology × routing × objective candidate to evaluate.
+
+    Attributes:
+        tag: caller-chosen label used to route the result back (the
+            selector tags by topology name, the routing sweep by code).
+        collect: also return every mapping the swap search evaluated
+            (the Pareto exploration of Figure 9(b) needs the full cloud).
+        seed: deterministic per-job RNG seed; derived from the job's
+            cache key when not given, so results never depend on which
+            executor ran the job or in which order.
+    """
+
+    core_graph: CoreGraph
+    topology: Topology
+    routing: str = "MP"
+    objective: Objective | str = "hops"
+    constraints: Constraints | None = None
+    config: MapperConfig | None = None
+    estimator: NetworkEstimator | None = None
+    tag: str = ""
+    collect: bool = False
+    seed: int | None = None
+
+    def cache_key(self) -> tuple:
+        """Content key identifying the work (independent of ``tag``).
+
+        Includes the explicit ``seed`` so two jobs that differ only in
+        seed never share a cache entry (a future stochastic search must
+        not be served results computed under another seed).
+        """
+        return (
+            core_graph_fingerprint(self.core_graph),
+            topology_fingerprint(self.topology),
+            self.routing,
+            objective_fingerprint(self.objective),
+            constraints_fingerprint(self.constraints),
+            config_fingerprint(self.config),
+            estimator_fingerprint(self.estimator),
+            self.collect,
+            self.seed,
+        )
+
+    def resolved_seed(self) -> int:
+        """The job's effective RNG seed (stable across runs/executors)."""
+        if self.seed is not None:
+            return self.seed
+        return hash_seed(self.cache_key())
+
+    def pinned(self, key: tuple) -> "EvaluationJob":
+        """Copy with the content-derived seed made explicit.
+
+        The engine pins pending jobs before handing them to an executor
+        so workers take the explicit-seed fast path instead of
+        re-fingerprinting the core graph and topology; ``key`` is the
+        job's already-computed :meth:`cache_key`.
+        """
+        if self.seed is not None:
+            return self
+        return replace(self, seed=hash_seed(key))
+
+
+def _error_class_by_name(name: str) -> type:
+    """Resolve a captured exception class name back to the class."""
+    for base in CAPTURED_ERRORS:
+        stack = [base]
+        while stack:
+            cls = stack.pop()
+            if cls.__name__ == name:
+                return cls
+            stack.extend(cls.__subclasses__())
+    return ReproError
+
+
+def hash_seed(key: tuple) -> int:
+    """Derive a 32-bit seed from a cache key, without Python's randomized
+    ``hash`` (must match across worker processes)."""
+    digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+    return int(digest[:8], 16)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one executed (or cache-served) job.
+
+    Exactly one of ``evaluation`` / ``error`` is set: ``error`` holds the
+    message of a captured :data:`CAPTURED_ERRORS` exception (the paper's
+    "skip this combination" outcomes); any other exception propagates.
+    """
+
+    tag: str
+    evaluation: MappingEvaluation | None = None
+    error: str | None = None
+    error_type: str | None = None
+    collected: list[MappingEvaluation] = field(default_factory=list)
+    seed: int = 0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def error_class(self) -> type | None:
+        """The captured exception's class (``None`` when the job ran ok).
+
+        Resolved by name against :data:`CAPTURED_ERRORS` and their
+        subclasses, so a routing implementation raising a subclass is
+        still recognized; unknown names resolve to :class:`ReproError`.
+        """
+        if self.error is None:
+            return None
+        return _error_class_by_name(self.error_type or "")
+
+    def is_unsupported_routing(self) -> bool:
+        """Whether the captured error means "routing undefined here"."""
+        cls = self.error_class
+        return cls is not None and issubclass(cls, UnsupportedRoutingError)
+
+    def raise_if_error(self) -> None:
+        """Re-raise the captured exception with its original type."""
+        if self.error is None:
+            return
+        raise self.error_class(self.error)
+
+    def retagged(self, tag: str, cached: bool) -> "JobResult":
+        """Copy with a caller-facing tag/cached flag.
+
+        The ``collected`` list is copied so callers that sort or append
+        cannot poison the cached entry; the evaluations themselves are
+        shared (treat them as read-only).
+        """
+        return replace(
+            self, tag=tag, cached=cached, collected=list(self.collected)
+        )
+
+
+def execute_job(job: EvaluationJob) -> JobResult:
+    """Run one candidate's mapping search; the executor-side entry point.
+
+    Must be a module-level function so :class:`ProcessExecutor` can pickle
+    it. The global RNG is seeded deterministically for the duration of the
+    job and restored afterwards: the current mapper is fully
+    deterministic, but this guarantees any future stochastic search
+    (annealing restarts, randomized tie-breaks) stays reproducible and
+    executor-independent — without clobbering the caller's own
+    ``random`` state when the job runs in-process.
+    """
+    seed = job.resolved_seed()
+    collector: list[MappingEvaluation] | None = [] if job.collect else None
+    rng_state = random.getstate()
+    random.seed(seed)
+    try:
+        evaluation = map_onto(
+            job.core_graph,
+            job.topology,
+            routing=job.routing,
+            objective=job.objective,
+            constraints=job.constraints,
+            estimator=job.estimator,
+            config=job.config,
+            collector=collector,
+        )
+    except CAPTURED_ERRORS as exc:
+        return JobResult(
+            tag=job.tag,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            seed=seed,
+        )
+    finally:
+        random.setstate(rng_state)
+    return JobResult(
+        tag=job.tag,
+        evaluation=evaluation,
+        collected=collector or [],
+        seed=seed,
+    )

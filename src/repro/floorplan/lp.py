@@ -31,7 +31,7 @@ from repro.errors import FloorplanError
 from repro.floorplan.blocks import Block, BlockRect
 from repro.floorplan.positions import derive_columns
 from repro.physical.technology import TECH_100NM, Technology
-from repro.topology.base import Topology, is_switch, is_term, term
+from repro.topology.base import Topology, is_term
 
 #: Wiring-channel margin between blocks and columns (mm).
 DEFAULT_CHANNEL_MM = 0.15

@@ -16,7 +16,7 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.routing.loads import EdgeLoads
-from repro.topology.base import is_switch, is_term
+from repro.topology.base import is_switch
 
 
 def routing_view(graph: nx.DiGraph, src, dst) -> nx.DiGraph:

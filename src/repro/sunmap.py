@@ -23,6 +23,7 @@ from repro.core.coregraph import CoreGraph
 from repro.core.evaluate import MappingEvaluation
 from repro.core.mapper import MapperConfig
 from repro.core.selector import SelectionResult, select_topology
+from repro.engine.engine import ExplorationEngine
 from repro.errors import MappingInfeasibleError
 from repro.physical.estimate import NetworkEstimator
 from repro.topology.base import Topology
@@ -86,6 +87,8 @@ def run_sunmap(
     estimator: NetworkEstimator | None = None,
     generate: bool = True,
     routing_fallbacks: tuple[str, ...] = DEFAULT_ROUTING_FALLBACKS,
+    jobs: int = 1,
+    engine: ExplorationEngine | None = None,
 ) -> SunmapReport:
     """Run the full SUNMAP flow on an application.
 
@@ -93,12 +96,19 @@ def run_sunmap(
         routing: first routing function to try (paper code DO/MP/SM/SA).
         routing_fallbacks: escalation sequence when nothing is feasible.
         generate: emit the winner's netlist and SystemC (phase 3).
+        jobs: parallel worker processes for the selection phase
+            (1 = serial); the report is identical regardless of ``jobs``.
+        engine: explicit exploration engine (overrides ``jobs``); its
+            evaluation cache is reused by any further calls made with
+            the same engine (each fallback attempt uses a different
+            routing code, so escalation itself never hits the cache).
 
     Raises:
         MappingInfeasibleError: when no topology is feasible under any
             attempted routing function.
     """
     estimator = estimator or NetworkEstimator()
+    engine = engine or ExplorationEngine(jobs=jobs)
     attempted: list[str] = []
     selection: SelectionResult | None = None
     for code in (routing, *[c for c in routing_fallbacks if c != routing]):
@@ -111,6 +121,7 @@ def run_sunmap(
             constraints=constraints,
             estimator=estimator,
             config=config,
+            engine=engine,
         )
         if selection.best is not None:
             break

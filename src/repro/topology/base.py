@@ -257,7 +257,6 @@ class Topology(ABC):
             mapped_slots: terminal slots actually occupied by cores; used
                 to count core links. Defaults to all slots.
         """
-        g = self.graph
         if mapped_slots is None:
             mapped_slots = list(range(self.num_slots))
         mapped = set(mapped_slots)

@@ -14,7 +14,7 @@ import math
 import networkx as nx
 
 from repro.errors import TopologyError
-from repro.topology.base import Topology, is_switch, switch, term
+from repro.topology.base import Topology, switch, term
 
 
 class MeshTopology(Topology):

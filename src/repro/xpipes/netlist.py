@@ -15,7 +15,7 @@ from dataclasses import asdict, dataclass, field
 from repro.core.coregraph import CoreGraph
 from repro.errors import GenerationError
 from repro.physical.technology import TECH_100NM, Technology
-from repro.topology.base import Topology, is_switch, is_term, term
+from repro.topology.base import Topology, term
 from repro.xpipes.components import (
     LinkSpec,
     NISpec,
@@ -80,7 +80,7 @@ class Netlist:
             "design": self.design_name,
             "switches": [asdict(s) for s in self.switches],
             "network_interfaces": [asdict(n) for n in self.nis],
-            "links": [asdict(l) for l in self.links],
+            "links": [asdict(link) for link in self.links],
         }
         return json.dumps(payload, indent=2, sort_keys=True)
 
@@ -102,7 +102,6 @@ def build_netlist(
             nominal lengths are used when absent.
         used_switches: optional pruning set for multistage topologies.
     """
-    slot_to_core = {s: c for c, s in assignment.items()}
     netlist = Netlist(design_name or f"{core_graph.name}_{topology.name}")
 
     switches = topology.switches

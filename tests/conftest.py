@@ -7,7 +7,7 @@ import pytest
 from repro.apps import dsp_filter, mpeg4, network_processor, vopd
 from repro.core.coregraph import CoreGraph
 from repro.physical.estimate import NetworkEstimator
-from repro.topology.library import extended_library, make_topology
+from repro.topology.library import make_topology
 
 #: Topologies exercised by generic invariant tests, sized for 12 cores.
 GENERIC_TOPOLOGY_NAMES = (

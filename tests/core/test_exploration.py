@@ -1,8 +1,5 @@
 """Design-space exploration (Section 6.3)."""
 
-import pytest
-
-from repro.core.constraints import Constraints
 from repro.core.exploration import (
     ParetoPoint,
     area_power_exploration,
@@ -46,6 +43,36 @@ class TestParetoFront:
         assert pt(1.0, 1.0).dominates(pt(2.0, 2.0))
         assert not pt(1.0, 3.0).dominates(pt(2.0, 2.0))
         assert not pt(1.0, 1.0).dominates(pt(1.0, 1.0))
+
+    def test_dominates_tie_on_one_axis(self):
+        # Equal area, strictly better power: dominates (and not vice versa).
+        assert pt(1.0, 1.0).dominates(pt(1.0, 2.0))
+        assert not pt(1.0, 2.0).dominates(pt(1.0, 1.0))
+        # Equal power, strictly better area: dominates.
+        assert pt(1.0, 2.0).dominates(pt(3.0, 2.0))
+        assert not pt(3.0, 2.0).dominates(pt(1.0, 2.0))
+
+    def test_dominates_is_antisymmetric_on_equal_points(self):
+        a, b = pt(2.5, 4.0), pt(2.5, 4.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_front_keeps_exactly_one_of_equal_points(self):
+        front = pareto_front([pt(1.0, 1.0), pt(1.0, 1.0), pt(1.0, 1.0)])
+        assert [(p.area_mm2, p.power_mw) for p in front] == [(1.0, 1.0)]
+
+    def test_front_with_tie_on_area_axis(self):
+        # Same area, different power: only the lower-power one survives.
+        front = pareto_front([pt(1.0, 5.0), pt(1.0, 4.0), pt(1.0, 6.0)])
+        assert [(p.area_mm2, p.power_mw) for p in front] == [(1.0, 4.0)]
+
+    def test_front_with_tie_on_power_axis(self):
+        # Same power, different area: only the smaller-area one survives.
+        front = pareto_front([pt(3.0, 2.0), pt(1.0, 2.0), pt(2.0, 2.0)])
+        assert [(p.area_mm2, p.power_mw) for p in front] == [(1.0, 2.0)]
+
+    def test_empty_front(self):
+        assert pareto_front([]) == []
 
     def test_no_front_point_dominated(self):
         points = [pt(float(i % 7 + 1), float((i * 3) % 11 + 1))

@@ -1,7 +1,5 @@
 """QoS per-flow hop bounds (paper future work, realized)."""
 
-import pytest
-
 from repro.core.constraints import Constraints, qos_feasible
 from repro.core.mapper import MapperConfig, map_onto
 from repro.core.selector import select_topology

@@ -6,7 +6,7 @@ from repro.core.constraints import Constraints
 from repro.core.mapper import MapperConfig
 from repro.core.selector import select_topology
 from repro.errors import ReproError
-from repro.topology.library import make_topology, standard_library
+from repro.topology.library import make_topology
 
 FAST = MapperConfig(converge=False, swap_rounds=1)
 

@@ -1,7 +1,5 @@
 """Objective instances (incl. weighted) through the selector."""
 
-import pytest
-
 from repro.core.mapper import MapperConfig
 from repro.core.objectives import WeightedObjective
 from repro.core.selector import select_topology

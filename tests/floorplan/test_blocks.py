@@ -1,7 +1,5 @@
 """Floorplan block model."""
 
-import math
-
 import pytest
 
 from repro.errors import FloorplanError

@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.core.greedy import initial_greedy_mapping
-from repro.errors import FloorplanError
 from repro.floorplan.lp import floorplan_mapping
 from repro.topology.library import make_topology
 

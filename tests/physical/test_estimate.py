@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.coregraph import CoreGraph
-from repro.physical.estimate import NetworkEstimator
 from repro.routing.library import make_routing
 from repro.topology.library import make_topology
 

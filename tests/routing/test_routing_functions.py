@@ -7,7 +7,7 @@ from repro.errors import UnsupportedRoutingError
 from repro.routing.base import RoutingResult
 from repro.routing.library import ROUTING_CODES, all_routings, make_routing
 from repro.routing.loads import EdgeLoads
-from repro.topology.base import is_switch, is_term, term
+from repro.topology.base import is_switch, term
 from repro.topology.library import make_topology
 
 
@@ -168,7 +168,6 @@ class TestSplitting:
 
     def test_sm_cannot_split_single_path(self):
         """Butterfly has no path diversity: SM degenerates to MP."""
-        topo = make_topology("butterfly", 12)
         result = route("butterfly", "SM")
         for rc in result.routed:
             assert len(rc.paths) == 1

@@ -1,8 +1,6 @@
 """Load-aware shortest-path helpers."""
 
 import networkx as nx
-import pytest
-
 from repro.routing.loads import EdgeLoads
 from repro.routing.shortest import (
     load_then_hops,

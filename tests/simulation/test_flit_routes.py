@@ -3,9 +3,9 @@
 import pytest
 
 from repro.errors import UnsupportedRoutingError
-from repro.simulation.flit import Flit, Packet
+from repro.simulation.flit import Packet
 from repro.simulation.routes import RouteTable
-from repro.topology.base import is_switch, switch, term
+from repro.topology.base import switch, term
 from repro.topology.library import make_topology
 
 

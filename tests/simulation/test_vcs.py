@@ -1,7 +1,5 @@
 """Virtual-channel and flow-control behaviour."""
 
-import pytest
-
 from repro.simulation.network import Network, SimConfig
 from repro.simulation.traffic import SyntheticTraffic
 from repro.topology.library import make_topology

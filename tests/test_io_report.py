@@ -4,7 +4,6 @@ import json
 
 import pytest
 
-from repro.core.constraints import Constraints
 from repro.core.mapper import MapperConfig, map_onto
 from repro.core.selector import select_topology
 from repro.errors import CoreGraphError

@@ -14,7 +14,6 @@ from repro.core.exploration import ParetoPoint, pareto_front
 from repro.core.greedy import initial_greedy_mapping
 from repro.routing.library import make_routing
 from repro.routing.loads import EdgeLoads
-from repro.topology.base import is_switch
 from repro.topology.library import make_topology
 from repro.topology.torus import cyclic_arc
 

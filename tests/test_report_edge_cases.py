@@ -1,7 +1,5 @@
 """Rendering edge cases for repro.report."""
 
-import pytest
-
 from repro.core.mapper import MapperConfig
 from repro.core.selector import SelectionResult, select_topology
 from repro.floorplan.lp import floorplan_mapping

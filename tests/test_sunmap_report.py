@@ -1,7 +1,5 @@
 """The run_sunmap facade and its report object."""
 
-import pytest
-
 from repro.core.constraints import Constraints
 from repro.core.mapper import MapperConfig
 from repro.sunmap import DEFAULT_ROUTING_FALLBACKS, run_sunmap

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TopologyError
-from repro.topology.base import is_switch, switch, term
+from repro.topology.base import is_switch, switch
 from repro.topology.clos import ClosTopology
 
 

@@ -5,7 +5,7 @@ import pytest
 from repro.core.constraints import Constraints
 from repro.core.mapper import MapperConfig, map_onto
 from repro.errors import TopologyError
-from repro.topology.base import switch, term
+from repro.topology.base import switch
 from repro.topology.custom import CustomTopology
 
 

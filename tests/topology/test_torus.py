@@ -1,8 +1,6 @@
 """Torus-specific behaviour: wrap channels, arcs, quadrants, DOR."""
 
-import pytest
-
-from repro.topology.base import is_switch, switch, term
+from repro.topology.base import is_switch
 from repro.topology.torus import TorusTopology, cyclic_arc
 
 
