@@ -55,9 +55,17 @@ from repro.io import (
     selection_to_dict,
 )
 from repro.report import (
+    campaign_to_markdown,
     render_floorplan,
     render_mapping,
     selection_to_markdown,
+)
+from repro.simulation import (
+    CampaignConfig,
+    CampaignResult,
+    SimConfig,
+    SimReport,
+    run_campaign,
 )
 from repro.sunmap import SunmapReport, run_sunmap
 from repro.topology import (
@@ -68,7 +76,7 @@ from repro.topology import (
     standard_library,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -86,6 +94,12 @@ __all__ = [
     "JobResult",
     "run_sunmap",
     "SunmapReport",
+    "CampaignConfig",
+    "CampaignResult",
+    "SimConfig",
+    "SimReport",
+    "run_campaign",
+    "campaign_to_markdown",
     "Topology",
     "CustomTopology",
     "make_topology",

@@ -7,8 +7,10 @@ Commands mirror the tool's phases and the paper's experiments:
 * ``select`` — full phase-1/2 topology selection (Figures 6, 7(b));
 * ``explore`` — routing-function bandwidth sweep + Pareto points
   (Figure 9);
-* ``simulate`` — cycle-accurate latency measurement (Figures 8(b),
-  10(c));
+* ``simulate`` — cycle-accurate latency measurement: one point with
+  ``--rate`` (Figures 8(b), 10(c)), or a full engine-parallel campaign
+  with ``--rates``/``--patterns``/``--seeds``/``--jobs`` (latency–
+  throughput curves with saturation detection);
 * ``generate`` — phase-3 SystemC generation (Figure 11).
 """
 
@@ -197,28 +199,78 @@ def cmd_explore(args) -> int:
     return 0
 
 
+def _csv(text: str, cast):
+    try:
+        return tuple(cast(part) for part in text.split(",") if part)
+    except ValueError:
+        raise ReproError(
+            f"expected a comma-separated list of {cast.__name__} values, "
+            f"got {text!r}"
+        ) from None
+
+
 def cmd_simulate(args) -> int:
     app = load_application(args.app)
     topology = make_topology(args.topology, app.num_cores)
-    pattern = args.pattern
-    if pattern == "adversarial":
-        pattern = adversarial_pattern(topology)
-    slots = list(range(min(app.num_cores, topology.num_slots)))
-    report = run_measurement(
-        topology,
-        SyntheticTraffic(pattern, args.rate),
+    if args.rates is None:
+        # Single-point measurement (the original Figure 8(b) probe).
+        pattern = args.pattern
+        if pattern == "adversarial":
+            pattern = adversarial_pattern(topology)
+        slots = list(range(min(app.num_cores, topology.num_slots)))
+        report = run_measurement(
+            topology,
+            SyntheticTraffic(pattern, args.rate),
+            warmup=args.warmup,
+            measure=args.cycles,
+            drain=args.drain,
+            active_slots=slots,
+            offered_rate=args.rate,
+        )
+        print(
+            f"{topology.name} pattern={pattern} rate={args.rate}: "
+            f"avg latency {report.avg_latency:.1f} cy, "
+            f"p95 {report.p95_latency:.1f} cy, "
+            f"delivered {report.delivered_fraction * 100:.1f}%"
+        )
+        return 0
+
+    # Campaign mode: sweep rates x patterns x seeds through the engine.
+    from repro.core.greedy import initial_greedy_mapping
+    from repro.simulation.campaign import CampaignConfig, run_campaign
+
+    patterns = _csv(args.patterns, str)
+    patterns = tuple(
+        dict.fromkeys(  # dedupe, e.g. 'adversarial' aliasing a listed one
+            adversarial_pattern(topology) if p == "adversarial" else p
+            for p in patterns
+        )
+    )
+    # The campaign validates a mapped design; the greedy phase-1 mapping
+    # is deterministic and fast (use `generate`/`run_sunmap` for the
+    # fully optimized assignment).
+    assignment = initial_greedy_mapping(app, topology)
+    config = CampaignConfig(
+        rates=_csv(args.rates, float),
+        patterns=patterns,
+        seeds=_csv(args.seeds, int),
         warmup=args.warmup,
         measure=args.cycles,
         drain=args.drain,
-        active_slots=slots,
-        offered_rate=args.rate,
     )
-    print(
-        f"{topology.name} pattern={pattern} rate={args.rate}: "
-        f"avg latency {report.avg_latency:.1f} cy, "
-        f"p95 {report.p95_latency:.1f} cy, "
-        f"delivered {report.delivered_fraction * 100:.1f}%"
+    result = run_campaign(
+        topology,
+        core_graph=app,
+        assignment=assignment,
+        config=config,
+        jobs=args.jobs,
     )
+    if args.markdown:
+        from repro.report import campaign_to_markdown
+
+        print(campaign_to_markdown(result))
+    else:
+        print(result.summary())
     return 0
 
 
@@ -285,7 +337,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs(p)
     p.add_argument("--topology", required=True)
 
-    p = sub.add_parser("simulate", help="cycle-accurate latency measurement")
+    p = sub.add_parser(
+        "simulate",
+        help="cycle-accurate latency measurement (single point or "
+        "campaign sweep)",
+    )
     p.add_argument("--app", required=True, choices=sorted(APPLICATIONS))
     p.add_argument("--topology", required=True)
     p.add_argument("--rate", type=float, default=0.2)
@@ -296,6 +352,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cycles", type=int, default=5000)
     p.add_argument("--warmup", type=int, default=1000)
     p.add_argument("--drain", type=int, default=3000)
+    p.add_argument(
+        "--rates", default=None, metavar="R1,R2,...",
+        help="campaign mode: sweep these injection rates "
+        "(flits/cycle/node) instead of the single --rate point",
+    )
+    p.add_argument(
+        "--patterns", default="app,uniform,hotspot,transpose",
+        metavar="P1,P2,...",
+        help="campaign traffic patterns ('app' = application trace, "
+        "'adversarial' = the topology's stress permutation)",
+    )
+    p.add_argument(
+        "--seeds", default="1", metavar="S1,S2,...",
+        help="campaign traffic seeds; curves average across them",
+    )
+    p.add_argument(
+        "--markdown", action="store_true",
+        help="print campaign curves as a markdown table",
+    )
+    _add_jobs(p)
 
     p = sub.add_parser("generate", help="select and emit SystemC")
     _add_common(p)

@@ -124,6 +124,11 @@ def select_topology(
             identical to the serial path regardless of ``jobs``.
         engine: explicit engine (overrides ``jobs``); pass the same
             engine across calls to reuse its evaluation cache.
+
+    Raises:
+        ValueError: when ``topologies`` is an empty list — selection
+            over an empty library can never produce a result, so this
+            fails loudly instead of reporting "no feasible topology".
     """
     if isinstance(objective, str):
         make_objective(objective)  # validate the name early
@@ -134,6 +139,11 @@ def select_topology(
         topologies = standard_library(core_graph.num_cores)
     # Materialize: the sequence is walked twice (job build + reduction).
     topologies = list(topologies)
+    if not topologies:
+        raise ValueError(
+            "select_topology received an empty topologies list; pass None "
+            "for the standard library or at least one topology instance"
+        )
     engine = engine or ExplorationEngine(jobs=jobs)
     selection = SelectionResult(
         objective_name=objective_name, routing_code=routing

@@ -4,8 +4,9 @@ Public surface:
 
 * :class:`ExplorationEngine` — job-list execution with memoization and
   pluggable parallelism (``jobs=1`` serial, ``jobs=N`` process pool);
-* :class:`EvaluationJob` / :class:`JobResult` — one design-space
-  candidate and its outcome;
+* :class:`EvaluationJob` / :class:`SimulationJob` / :class:`JobResult` —
+  the two design-space job kinds (mapping search, campaign measurement)
+  and their shared outcome record;
 * :class:`EvaluationCache` — shared content-keyed result cache;
 * :func:`make_executor`, :class:`SerialExecutor`,
   :class:`ProcessExecutor` — the executor plugins.
@@ -18,7 +19,14 @@ from repro.engine.executors import (
     SerialExecutor,
     make_executor,
 )
-from repro.engine.jobs import EvaluationJob, JobResult, execute_job
+from repro.engine.jobs import (
+    EvaluationJob,
+    JobResult,
+    SimulationJob,
+    execute_job,
+    execute_simulation_job,
+    run_job,
+)
 
 __all__ = [
     "CacheStats",
@@ -28,6 +36,9 @@ __all__ = [
     "JobResult",
     "ProcessExecutor",
     "SerialExecutor",
+    "SimulationJob",
     "execute_job",
+    "execute_simulation_job",
     "make_executor",
+    "run_job",
 ]

@@ -2,8 +2,12 @@
 
 SUNMAP's selection flow is embarrassingly parallel: every candidate
 (topology × routing function × objective) is an independent mapping
-search. :class:`ExplorationEngine` makes that explicit — callers build a
-job list, the engine memoizes repeated work through a shared
+search, and every simulation-campaign point (topology × pattern × rate ×
+seed) is an independent measurement. :class:`ExplorationEngine` makes
+that explicit — callers build a job list (mixing
+:class:`~repro.engine.jobs.EvaluationJob` and
+:class:`~repro.engine.jobs.SimulationJob` freely), the engine memoizes
+repeated work through a shared
 :class:`~repro.engine.cache.EvaluationCache`, executes the remainder
 through a pluggable executor (serial or process pool), and reduces
 results back into submission order so the outcome is independent of
@@ -20,7 +24,7 @@ from repro.core.coregraph import CoreGraph
 from repro.core.mapper import MapperConfig
 from repro.engine.cache import EvaluationCache
 from repro.engine.executors import Executor, make_executor
-from repro.engine.jobs import EvaluationJob, JobResult, execute_job
+from repro.engine.jobs import EvaluationJob, JobResult, SimulationJob, run_job
 from repro.topology.base import Topology
 from repro.topology.library import standard_library
 
@@ -51,16 +55,20 @@ class ExplorationEngine:
     # ------------------------------------------------------------------
     # core execution
     # ------------------------------------------------------------------
-    def run(self, jobs: Sequence[EvaluationJob]) -> list[JobResult]:
+    def run(
+        self, jobs: Sequence[EvaluationJob | SimulationJob]
+    ) -> list[JobResult]:
         """Execute a batch; results come back in submission order.
 
-        Cache hits are served without executing; duplicate keys within
-        the batch are executed once and fanned out to every submitter.
-        Results are bit-identical across executors: the reduction is by
-        submission index, and per-job seeds are content-derived.
+        Batches may mix job kinds (mapping searches and simulation
+        points share one queue, cache and executor). Cache hits are
+        served without executing; duplicate keys within the batch are
+        executed once and fanned out to every submitter. Results are
+        bit-identical across executors: the reduction is by submission
+        index, and per-job seeds are content-derived.
         """
         results: list[JobResult | None] = [None] * len(jobs)
-        pending: list[tuple[int, EvaluationJob]] = []
+        pending: list[tuple[int, EvaluationJob | SimulationJob]] = []
         keys: dict[int, tuple] = {}
         first_index_for_key: dict[tuple, int] = {}
         duplicates: dict[int, list[int]] = {}
@@ -81,7 +89,7 @@ class ExplorationEngine:
             keys[index] = key
             pending.append((index, job.pinned(key)))
 
-        for index, result in self.executor.run(execute_job, pending):
+        for index, result in self.executor.run(run_job, pending):
             # The cache keeps the pristine result; every caller-facing
             # copy goes through retagged() so its collected list is
             # detached from the cached entry.
@@ -94,7 +102,7 @@ class ExplorationEngine:
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
 
-    def run_one(self, job: EvaluationJob) -> JobResult:
+    def run_one(self, job: EvaluationJob | SimulationJob) -> JobResult:
         """Convenience wrapper for a single candidate."""
         return self.run([job])[0]
 

@@ -78,6 +78,20 @@ def _dataclass_key(value) -> tuple:
     )
 
 
+def sim_config_fingerprint(sim_config) -> str:
+    """Content hash of a simulator :class:`~repro.simulation.network.SimConfig`.
+
+    Imported lazily by the job layer so the engine package keeps no
+    hard dependency on the simulator; any frozen dataclass of simple
+    values keys correctly here.
+    """
+    if sim_config is None:
+        from repro.simulation.network import SimConfig
+
+        sim_config = SimConfig()
+    return _digest(repr(_dataclass_key(sim_config)))
+
+
 def constraints_fingerprint(constraints: Constraints | None) -> str:
     if constraints is None:
         constraints = Constraints()

@@ -1,10 +1,18 @@
 """Job and result records for the exploration engine.
 
-One :class:`EvaluationJob` is one candidate of the design space — a
-(core graph, topology, routing function, objective) tuple plus the mapper
-knobs — and executing it means running the full Figure-5 mapping search
-for that candidate. Jobs carry everything a worker process needs, so they
-must stay picklable end to end.
+Two job kinds share the engine's memoize-dedupe-execute pipeline:
+
+* :class:`EvaluationJob` — one candidate of the design space: a
+  (core graph, topology, routing function, objective) tuple plus the
+  mapper knobs. Executing it runs the full Figure-5 mapping search.
+* :class:`SimulationJob` — one point of a simulation campaign: a
+  (topology, traffic pattern, injection rate, seed) tuple plus the
+  simulator protocol. Executing it runs one warmup/measure/drain
+  flit-level measurement.
+
+Jobs carry everything a worker process needs, so they must stay
+picklable end to end; :func:`run_job` is the executor-side dispatcher
+that routes each kind to its executor function.
 """
 
 from __future__ import annotations
@@ -24,11 +32,13 @@ from repro.engine.fingerprint import (
     core_graph_fingerprint,
     estimator_fingerprint,
     objective_fingerprint,
+    sim_config_fingerprint,
     topology_fingerprint,
 )
 from repro.errors import (
     MappingInfeasibleError,
     ReproError,
+    SimulationError,
     UnsupportedRoutingError,
 )
 from repro.physical.estimate import NetworkEstimator
@@ -36,7 +46,11 @@ from repro.topology.base import Topology
 
 #: Exceptions the serial flow treats as "this candidate is out", not as a
 #: crash; workers capture them into :attr:`JobResult.error`.
-CAPTURED_ERRORS = (MappingInfeasibleError, UnsupportedRoutingError)
+CAPTURED_ERRORS = (
+    MappingInfeasibleError,
+    UnsupportedRoutingError,
+    SimulationError,
+)
 
 
 @dataclass(frozen=True)
@@ -125,13 +139,18 @@ def hash_seed(key: tuple) -> int:
 class JobResult:
     """Outcome of one executed (or cache-served) job.
 
-    Exactly one of ``evaluation`` / ``error`` is set: ``error`` holds the
-    message of a captured :data:`CAPTURED_ERRORS` exception (the paper's
-    "skip this combination" outcomes); any other exception propagates.
+    Exactly one payload (``evaluation`` for mapping jobs, ``value`` for
+    simulation jobs) or ``error`` is set: ``error`` holds the message of
+    a captured :data:`CAPTURED_ERRORS` exception (the paper's "skip this
+    combination" outcomes); any other exception propagates.
     """
 
     tag: str
     evaluation: MappingEvaluation | None = None
+    #: Payload of non-mapping jobs (a :class:`~repro.simulation.stats.
+    #: SimReport` for :class:`SimulationJob`); treat as read-only, it is
+    #: shared with the cache entry.
+    value: object | None = None
     error: str | None = None
     error_type: str | None = None
     collected: list[MappingEvaluation] = field(default_factory=list)
@@ -175,6 +194,138 @@ class JobResult:
         return replace(
             self, tag=tag, cached=cached, collected=list(self.collected)
         )
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One (pattern, rate, seed) point of a simulation campaign.
+
+    Executing the job runs one warmup/measure/drain flit-level
+    measurement (:func:`repro.simulation.stats.run_measurement`) and
+    returns its :class:`~repro.simulation.stats.SimReport` in
+    :attr:`JobResult.value`. All randomness is derived from the job's
+    *content* (``sim.seed`` and ``traffic_seed``), so results are
+    bit-identical across executors, worker counts and completion orders.
+
+    Attributes:
+        pattern: synthetic pattern name from
+            :data:`~repro.simulation.patterns.PATTERNS`, or ``"app"``
+            for trace-driven traffic (requires ``core_graph`` and
+            ``assignment``).
+        rate: offered load in flits/cycle/node (see
+            :func:`~repro.simulation.traffic.build_traffic` for the
+            trace-traffic rescaling semantics).
+        traffic_seed: seed of the traffic generator's RNG; campaign
+            points that differ only in rate share it, so rate sweeps run
+            under common random numbers.
+        assignment: core index -> terminal slot as a sorted tuple of
+            pairs (tuples keep the job hashable and picklable).
+        sim: simulator parameters; its ``seed`` is mixed with
+            ``traffic_seed`` to seed the network RNG.
+    """
+
+    topology: Topology
+    pattern: str
+    rate: float
+    traffic_seed: int = 1
+    sim: "object | None" = None  # SimConfig; None = defaults
+    warmup: int = 500
+    measure: int = 2000
+    drain: int = 1500
+    active_slots: tuple[int, ...] | None = None
+    core_graph: CoreGraph | None = None
+    assignment: tuple[tuple[int, int], ...] | None = None
+    flit_width_bits: int = 32
+    clock_mhz: float = 500.0
+    tag: str = ""
+
+    def cache_key(self) -> tuple:
+        """Content key identifying the work (independent of ``tag``)."""
+        return (
+            "sim",
+            topology_fingerprint(self.topology),
+            self.pattern,
+            self.rate,
+            self.traffic_seed,
+            sim_config_fingerprint(self.sim),
+            self.warmup,
+            self.measure,
+            self.drain,
+            self.active_slots,
+            (
+                None
+                if self.core_graph is None
+                else core_graph_fingerprint(self.core_graph)
+            ),
+            self.assignment,
+            self.flit_width_bits,
+            self.clock_mhz,
+        )
+
+    def resolved_seed(self) -> int:
+        """Content-derived seed (reported in :attr:`JobResult.seed`)."""
+        return hash_seed(self.cache_key())
+
+    def pinned(self, key: tuple) -> "SimulationJob":
+        """No-op for simulation jobs: every seed the measurement uses is
+        already explicit in the job's content, so there is nothing to
+        pin before handing the job to an executor."""
+        return self
+
+
+def execute_simulation_job(job: SimulationJob) -> JobResult:
+    """Run one campaign point's measurement; the executor-side entry.
+
+    Module-level so :class:`ProcessExecutor` can pickle it. The network
+    RNG seed is derived from ``(sim.seed, traffic_seed)`` content, never
+    from executor or ordering state.
+    """
+    from repro.simulation.network import SimConfig
+    from repro.simulation.stats import run_measurement
+    from repro.simulation.traffic import build_traffic
+
+    sim = job.sim or SimConfig()
+    try:
+        traffic = build_traffic(
+            job.pattern,
+            job.rate,
+            seed=job.traffic_seed,
+            core_graph=job.core_graph,
+            assignment=(
+                None if job.assignment is None else dict(job.assignment)
+            ),
+            flit_width_bits=job.flit_width_bits,
+            clock_mhz=job.clock_mhz,
+        )
+        report = run_measurement(
+            job.topology,
+            traffic,
+            config=replace(
+                sim, seed=hash_seed(("net", sim.seed, job.traffic_seed))
+            ),
+            warmup=job.warmup,
+            measure=job.measure,
+            drain=job.drain,
+            active_slots=(
+                None if job.active_slots is None else list(job.active_slots)
+            ),
+            offered_rate=job.rate,
+        )
+    except CAPTURED_ERRORS as exc:
+        return JobResult(
+            tag=job.tag,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            seed=job.resolved_seed(),
+        )
+    return JobResult(tag=job.tag, value=report, seed=job.resolved_seed())
+
+
+def run_job(job) -> JobResult:
+    """Executor-side dispatcher across job kinds (must stay picklable)."""
+    if isinstance(job, SimulationJob):
+        return execute_simulation_job(job)
+    return execute_job(job)
 
 
 def execute_job(job: EvaluationJob) -> JobResult:

@@ -1,16 +1,19 @@
 """Plain-text rendering of SUNMAP artifacts.
 
-ASCII views of floorplans (Figure 10(b) style), topology summaries and
-markdown tables — useful in terminals, logs and docs, with zero plotting
-dependencies.
+ASCII views of floorplans (Figure 10(b) style), topology summaries,
+latency–throughput campaign curves and markdown tables — useful in
+terminals, logs and docs, with zero plotting dependencies.
 """
 
 from __future__ import annotations
+
+import math
 
 from repro.core.coregraph import CoreGraph
 from repro.core.evaluate import MappingEvaluation
 from repro.core.selector import SelectionResult
 from repro.floorplan.lp import FloorplanResult
+from repro.simulation.campaign import CampaignResult
 
 
 def render_floorplan(
@@ -86,6 +89,37 @@ def render_mapping(evaluation: MappingEvaluation) -> str:
     for core_index, slot in sorted(evaluation.assignment.items()):
         lines.append(f"    {app.core(core_index).name:<14} -> slot {slot}")
     return "\n".join(lines)
+
+
+def campaign_to_markdown(campaign: CampaignResult) -> str:
+    """Campaign curves as GitHub-flavored markdown (one table, all
+    patterns), with saturation rates called out below the table."""
+    header = (
+        "| pattern | rate | avg latency | p95 | throughput | delivered |"
+    )
+    rule = "|---|---|---|---|---|---|"
+    rows = []
+    for pattern, curve in campaign.curves.items():
+        for i, rate in enumerate(curve.rates):
+            lat = curve.avg_latency[i]
+            p95 = curve.p95_latency[i]
+            rows.append(
+                f"| {pattern} | {rate:g} | "
+                f"{'∞' if not math.isfinite(lat) else f'{lat:.1f}'} | "
+                f"{'∞' if not math.isfinite(p95) else f'{p95:.1f}'} | "
+                f"{curve.throughput[i]:.3f} | "
+                f"{curve.delivered[i] * 100:.1f}% |"
+            )
+    sat_lines = [
+        f"- **{pattern}** saturates at "
+        + (f"{rate:g} flits/cycle/node" if rate is not None else "no swept rate")
+        for pattern, rate in campaign.saturation_rates().items()
+    ]
+    title = (
+        f"**Campaign:** {campaign.application or '(synthetic)'} on "
+        f"{campaign.topology_name}"
+    )
+    return "\n".join([title, "", header, rule] + rows + [""] + sat_lines)
 
 
 def selection_to_markdown(selection: SelectionResult) -> str:

@@ -1,0 +1,457 @@
+"""Closed-loop simulation campaigns over a selected topology.
+
+SUNMAP's flow does not end at selection: the paper validates the chosen
+topology by *simulating* the generated network under the application's
+traffic (Sections 6.2 and 6.4). A :func:`run_campaign` sweep closes that
+loop — it takes the selected topology and mapping, sweeps injection
+rates and traffic patterns (application trace, uniform, hotspot,
+transpose, …) across seeds, and produces latency–throughput curves with
+detected saturation points and per-switch load histograms.
+
+Every (pattern, rate, seed) point is submitted to the
+:class:`~repro.engine.engine.ExplorationEngine` as a
+:class:`~repro.engine.jobs.SimulationJob`, so campaigns parallelize over
+worker processes and memoize through the engine's content-keyed cache
+exactly like selection does; ``jobs=1`` and ``jobs=N`` produce
+bit-identical :class:`CampaignResult`\\ s.
+
+Typical use::
+
+    from repro import run_sunmap, vopd
+    from repro.simulation.campaign import CampaignConfig
+
+    report = run_sunmap(vopd(), simulate=CampaignConfig(), jobs=4)
+    print(report.campaign.summary())
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import asdict, dataclass, field
+
+from repro.core.coregraph import CoreGraph
+from repro.engine.engine import ExplorationEngine
+from repro.engine.jobs import SimulationJob
+from repro.errors import SimulationError
+from repro.simulation.network import SimConfig
+from repro.simulation.patterns import APP_PATTERN, PATTERNS
+from repro.simulation.stats import SimReport
+from repro.topology.base import Topology
+
+#: Default injection-rate sweep in flits/cycle/node: dense at low load
+#: where curves are flat, reaching past the saturation knee of every
+#: library topology at 12-16 nodes.
+DEFAULT_RATES = (0.05, 0.1, 0.2, 0.35, 0.5, 0.7)
+
+#: Default pattern mix: the application trace plus the three synthetic
+#: scenarios the related Pareto-exploration work sweeps.
+DEFAULT_PATTERNS = (APP_PATTERN, "uniform", "hotspot", "transpose")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs of one campaign sweep.
+
+    Attributes:
+        rates: offered loads in flits/cycle/node, strictly increasing.
+        patterns: traffic patterns to sweep — names from
+            :data:`~repro.simulation.patterns.PATTERNS` plus ``"app"``
+            for trace-driven traffic.
+        seeds: traffic seeds; curve statistics average across them.
+        sim: simulator parameters (``None`` = :class:`SimConfig`
+            defaults).
+        warmup/measure/drain: the per-point measurement protocol (see
+            :func:`~repro.simulation.stats.run_measurement`).
+        saturation_threshold: a point saturates when fewer than this
+            fraction of measured packets is delivered…
+        latency_blowup: …or when its average latency exceeds this
+            multiple of the curve's zero-load (first-rate) latency.
+    """
+
+    rates: tuple[float, ...] = DEFAULT_RATES
+    patterns: tuple[str, ...] = DEFAULT_PATTERNS
+    seeds: tuple[int, ...] = (1,)
+    sim: SimConfig | None = None
+    warmup: int = 500
+    measure: int = 2000
+    drain: int = 1500
+    flit_width_bits: int = 32
+    clock_mhz: float = 500.0
+    saturation_threshold: float = 0.9
+    latency_blowup: float = 4.0
+
+    def __post_init__(self):
+        if not self.rates:
+            raise SimulationError("campaign needs at least one rate")
+        if any(r <= 0 for r in self.rates):
+            raise SimulationError("campaign rates must be positive")
+        if list(self.rates) != sorted(set(self.rates)):
+            raise SimulationError(
+                "campaign rates must be strictly increasing"
+            )
+        if not self.patterns:
+            raise SimulationError("campaign needs at least one pattern")
+        if len(set(self.patterns)) != len(self.patterns):
+            # Repeats would silently double-count curves and histograms.
+            raise SimulationError("campaign patterns must be unique")
+        for pattern in self.patterns:
+            if pattern != APP_PATTERN and pattern not in PATTERNS:
+                raise SimulationError(
+                    f"unknown campaign pattern {pattern!r}; choose from "
+                    f"{sorted(PATTERNS) + [APP_PATTERN]}"
+                )
+        if not self.seeds:
+            raise SimulationError("campaign needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise SimulationError("campaign seeds must be unique")
+        if not 0 < self.saturation_threshold <= 1:
+            raise SimulationError(
+                "saturation threshold must be in (0, 1]"
+            )
+        if self.latency_blowup <= 1:
+            raise SimulationError("latency blowup must exceed 1")
+
+    @property
+    def num_points(self) -> int:
+        return len(self.rates) * len(self.patterns) * len(self.seeds)
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One measured (pattern, rate, seed) sample."""
+
+    pattern: str
+    rate: float
+    seed: int
+    report: SimReport
+
+
+@dataclass(frozen=True)
+class CampaignCurve:
+    """Latency–throughput curve of one pattern (seed-averaged).
+
+    ``saturation_rate`` is the first swept rate at which the pattern
+    saturates (delivery collapse or latency blowup — see
+    :func:`detect_saturation`), or ``None`` if the sweep never reaches
+    saturation.
+    """
+
+    pattern: str
+    rates: tuple[float, ...]
+    avg_latency: tuple[float, ...]
+    p95_latency: tuple[float, ...]
+    throughput: tuple[float, ...]
+    delivered: tuple[float, ...]
+    saturation_rate: float | None
+
+    def pre_saturation(self) -> tuple[tuple[float, float], ...]:
+        """The (rate, avg latency) points strictly below saturation."""
+        stop = (
+            len(self.rates)
+            if self.saturation_rate is None
+            else self.rates.index(self.saturation_rate)
+        )
+        return tuple(zip(self.rates[:stop], self.avg_latency[:stop]))
+
+
+def detect_saturation(
+    rates,
+    latencies,
+    delivered,
+    threshold: float = 0.9,
+    blowup: float = 4.0,
+) -> float | None:
+    """First rate at which a latency curve saturates, else ``None``.
+
+    A point saturates when its delivered fraction drops below
+    ``threshold``, its latency is unbounded (no measured packet made it
+    out), or its average latency exceeds ``blowup`` times the curve's
+    first finite latency (the zero-load baseline).
+    """
+    base = next((v for v in latencies if math.isfinite(v)), None)
+    for rate, latency, frac in zip(rates, latencies, delivered):
+        if frac < threshold or not math.isfinite(latency):
+            return rate
+        if base is not None and latency > blowup * base:
+            return rate
+    return None
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced.
+
+    Attributes:
+        points: every measured sample, in sweep order (pattern-major,
+            then rate, then seed).
+        curves: per-pattern seed-averaged latency–throughput curves.
+        switch_loads: per-pattern per-switch load histogram — flits
+            forwarded during the measurement window, summed over rates
+            and seeds (``{pattern: {switch_label: flits}}``).
+    """
+
+    topology_name: str
+    application: str | None
+    config: CampaignConfig
+    points: list[CampaignPoint] = field(default_factory=list)
+    curves: dict[str, CampaignCurve] = field(default_factory=dict)
+    switch_loads: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def saturation_rates(self) -> dict[str, float | None]:
+        """Detected saturation rate per pattern (``None`` = never)."""
+        return {
+            pattern: curve.saturation_rate
+            for pattern, curve in self.curves.items()
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-able form (used by reports and bit-identity checks)."""
+        return {
+            "topology": self.topology_name,
+            "application": self.application,
+            "config": {
+                "rates": list(self.config.rates),
+                "patterns": list(self.config.patterns),
+                "seeds": list(self.config.seeds),
+                "sim": asdict(self.config.sim or SimConfig()),
+                "warmup": self.config.warmup,
+                "measure": self.config.measure,
+                "drain": self.config.drain,
+            },
+            "curves": {
+                pattern: {
+                    "rates": list(curve.rates),
+                    "avg_latency": list(curve.avg_latency),
+                    "p95_latency": list(curve.p95_latency),
+                    "throughput": list(curve.throughput),
+                    "delivered": list(curve.delivered),
+                    "saturation_rate": curve.saturation_rate,
+                }
+                for pattern, curve in self.curves.items()
+            },
+            "switch_loads": {
+                pattern: dict(loads)
+                for pattern, loads in self.switch_loads.items()
+            },
+            "points": [
+                {
+                    "pattern": p.pattern,
+                    "rate": p.rate,
+                    "seed": p.seed,
+                    "avg_latency": p.report.avg_latency,
+                    "p95_latency": p.report.p95_latency,
+                    "delivered_fraction": p.report.delivered_fraction,
+                    "throughput": p.report.throughput_flits_per_cycle,
+                    "measured_packets": p.report.measured_packets,
+                    "switch_loads": [list(sl) for sl in p.report.switch_loads],
+                }
+                for p in self.points
+            ],
+        }
+
+    def summary(self) -> str:
+        """Human-readable curve tables plus saturation and hot switches."""
+        lines = [
+            f"campaign: {self.application or '(synthetic)'} on "
+            f"{self.topology_name} "
+            f"({len(self.config.patterns)} patterns x "
+            f"{len(self.config.rates)} rates x "
+            f"{len(self.config.seeds)} seeds)"
+        ]
+        header = (
+            f"{'pattern':<12}{'rate':>7}{'avg lat':>9}{'p95':>8}"
+            f"{'thrpt':>8}{'delivered':>11}"
+        )
+        lines += [header, "-" * len(header)]
+        for pattern, curve in self.curves.items():
+            for i, rate in enumerate(curve.rates):
+                mark = (
+                    " <- saturated"
+                    if curve.saturation_rate is not None
+                    and rate >= curve.saturation_rate
+                    else ""
+                )
+                lines.append(
+                    f"{pattern:<12}{rate:>7.3f}"
+                    f"{_fmt(curve.avg_latency[i]):>9}"
+                    f"{_fmt(curve.p95_latency[i]):>8}"
+                    f"{curve.throughput[i]:>8.3f}"
+                    f"{curve.delivered[i] * 100:>10.1f}%{mark}"
+                )
+        sat = ", ".join(
+            f"{p}: {('%.3f' % r) if r is not None else 'not reached'}"
+            for p, r in self.saturation_rates().items()
+        )
+        lines.append(f"saturation rates  {sat}")
+        for pattern, loads in self.switch_loads.items():
+            hottest = sorted(
+                loads.items(), key=lambda kv: (-kv[1], kv[0])
+            )[:3]
+            hot = ", ".join(f"{name} ({flits})" for name, flits in hottest)
+            lines.append(f"hottest switches  {pattern}: {hot}")
+        return "\n".join(lines)
+
+
+def campaign_jobs(
+    topology: Topology,
+    config: CampaignConfig,
+    core_graph: CoreGraph | None = None,
+    assignment: dict[int, int] | None = None,
+    active_slots: list[int] | None = None,
+) -> list[SimulationJob]:
+    """The campaign's job list, in deterministic sweep order."""
+    slots = (
+        tuple(active_slots)
+        if active_slots is not None
+        else (
+            tuple(sorted(assignment.values()))
+            if assignment is not None
+            else None
+        )
+    )
+    packed = (
+        None if assignment is None else tuple(sorted(assignment.items()))
+    )
+    jobs = []
+    for pattern in config.patterns:
+        for rate in config.rates:
+            for seed in config.seeds:
+                jobs.append(
+                    SimulationJob(
+                        topology=topology,
+                        pattern=pattern,
+                        rate=rate,
+                        traffic_seed=seed,
+                        sim=config.sim,
+                        warmup=config.warmup,
+                        measure=config.measure,
+                        drain=config.drain,
+                        active_slots=slots,
+                        core_graph=(
+                            core_graph if pattern == APP_PATTERN else None
+                        ),
+                        assignment=(
+                            packed if pattern == APP_PATTERN else None
+                        ),
+                        flit_width_bits=config.flit_width_bits,
+                        clock_mhz=config.clock_mhz,
+                        tag=f"{pattern}@{rate:g}/s{seed}",
+                    )
+                )
+    return jobs
+
+
+def run_campaign(
+    topology: Topology,
+    core_graph: CoreGraph | None = None,
+    assignment: dict[int, int] | None = None,
+    config: CampaignConfig | None = None,
+    engine: ExplorationEngine | None = None,
+    jobs: int = 1,
+) -> CampaignResult:
+    """Sweep a topology across patterns, rates and seeds.
+
+    Args:
+        topology: the network to validate (typically the selection
+            winner).
+        core_graph: the application, required when the config sweeps the
+            ``"app"`` trace pattern.
+        assignment: core index -> terminal slot mapping (the selection
+            winner's); also restricts synthetic traffic endpoints to the
+            mapped slots.
+        config: sweep specification; defaults to :class:`CampaignConfig`.
+        engine: explicit engine (overrides ``jobs``); pass the selection
+            engine to share its evaluation cache across phases.
+        jobs: parallel worker processes (1 = serial); the result is
+            bit-identical regardless of ``jobs``.
+
+    Raises:
+        SimulationError: invalid config, or ``"app"`` swept without a
+            core graph and assignment.
+    """
+    config = config or CampaignConfig()
+    if APP_PATTERN in config.patterns and (
+        core_graph is None or assignment is None
+    ):
+        raise SimulationError(
+            "campaign sweeps the 'app' trace pattern but no core graph "
+            "and mapping were given; pass core_graph= and assignment=, "
+            "or drop 'app' from CampaignConfig.patterns"
+        )
+    engine = engine or ExplorationEngine(jobs=jobs)
+    job_list = campaign_jobs(
+        topology, config, core_graph=core_graph, assignment=assignment
+    )
+    result = CampaignResult(
+        topology_name=topology.name,
+        application=None if core_graph is None else core_graph.name,
+        config=config,
+    )
+    for job, outcome in zip(job_list, engine.run(job_list)):
+        outcome.raise_if_error()
+        result.points.append(
+            CampaignPoint(
+                pattern=job.pattern,
+                rate=job.rate,
+                seed=job.traffic_seed,
+                report=outcome.value,
+            )
+        )
+
+    by_pattern: dict[str, list[CampaignPoint]] = {}
+    for point in result.points:
+        by_pattern.setdefault(point.pattern, []).append(point)
+    for pattern, points in by_pattern.items():
+        result.curves[pattern] = _build_curve(pattern, points, config)
+        loads: dict[str, int] = {}
+        for point in points:
+            for label, flits in point.report.switch_loads:
+                loads[label] = loads.get(label, 0) + flits
+        result.switch_loads[pattern] = dict(sorted(loads.items()))
+    return result
+
+
+def _build_curve(
+    pattern: str, points: list[CampaignPoint], config: CampaignConfig
+) -> CampaignCurve:
+    """Average one pattern's points across seeds into a curve."""
+    by_rate: dict[float, list[SimReport]] = {}
+    for point in points:
+        by_rate.setdefault(point.rate, []).append(point.report)
+    rates = tuple(sorted(by_rate))
+    avg = tuple(_mean([r.avg_latency for r in by_rate[x]]) for x in rates)
+    p95 = tuple(_mean([r.p95_latency for r in by_rate[x]]) for x in rates)
+    thr = tuple(
+        _mean([r.throughput_flits_per_cycle for r in by_rate[x]])
+        for x in rates
+    )
+    dlv = tuple(
+        _mean([r.delivered_fraction for r in by_rate[x]]) for x in rates
+    )
+    return CampaignCurve(
+        pattern=pattern,
+        rates=rates,
+        avg_latency=avg,
+        p95_latency=p95,
+        throughput=thr,
+        delivered=dlv,
+        saturation_rate=detect_saturation(
+            rates,
+            avg,
+            dlv,
+            threshold=config.saturation_threshold,
+            blowup=config.latency_blowup,
+        ),
+    )
+
+
+def _mean(values: list[float]) -> float:
+    """Mean that propagates unbounded (saturated) samples."""
+    if any(not math.isfinite(v) for v in values):
+        return float("inf")
+    return statistics.fmean(values)
+
+
+def _fmt(value: float) -> str:
+    return "inf" if not math.isfinite(value) else f"{value:.1f}"

@@ -154,6 +154,11 @@ class Network:
         self.injected_packets = 0
         self.injected_flits = 0
         self.ejected_flits = 0
+        #: Flits forwarded per switch (crossbar traversals) — the raw
+        #: material of the campaign's per-switch load histograms.
+        self.switch_flits: dict[tuple, int] = dict.fromkeys(
+            topology.switches, 0
+        )
         self._next_pid = 0
         self._in_flight = 0
 
@@ -301,6 +306,7 @@ class Network:
                     continue  # next packet must re-arbitrate
                 ib.queue.popleft()
                 out.credits -= 1
+                self.switch_flits[sw] += 1
                 self._schedule_arrival(
                     self.cycle + config.link_latency + config.switch_latency,
                     (okey[0], okey[1]),

@@ -1,4 +1,12 @@
-"""Measurement harness and statistics for simulator runs."""
+"""Measurement harness and statistics for simulator runs.
+
+:func:`run_measurement` is the single-point entry: one topology, one
+traffic generator, one warmup/measure/drain protocol, one
+:class:`SimReport` out. :func:`latency_vs_injection` sweeps injection
+rates serially (the Figure 8(b) experiment); for parallel, cached,
+multi-pattern sweeps with saturation detection use
+:func:`repro.simulation.campaign.run_campaign` instead.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +17,15 @@ from repro.simulation.network import Network, SimConfig
 from repro.topology.base import Topology
 
 
+def switch_label(sw) -> str:
+    """Stable human-readable name for a switch graph node.
+
+    ``("sw", 3)`` becomes ``"sw3"``; multistage keys keep their tuple,
+    e.g. ``("sw", (0, 1))`` becomes ``"sw(0, 1)"``.
+    """
+    return f"sw{sw[1]}"
+
+
 @dataclass(frozen=True)
 class SimReport:
     """Outcome of one measured simulation run.
@@ -16,6 +33,11 @@ class SimReport:
     Latency statistics cover packets *created inside the measurement
     window* that were delivered before the run ended; ``delivered_fraction``
     reveals saturation (undelivered packets accumulating).
+
+    Attributes:
+        switch_loads: flits forwarded per switch during the measurement
+            window, as ``(switch_label, count)`` pairs sorted by label —
+            the per-switch load histogram of a campaign point.
     """
 
     cycles: int
@@ -26,6 +48,7 @@ class SimReport:
     p95_latency: float
     min_latency: float
     throughput_flits_per_cycle: float
+    switch_loads: tuple[tuple[str, int], ...] = ()
 
     def saturated(self, threshold: float = 0.9) -> bool:
         """True when fewer than ``threshold`` of measured packets made it."""
@@ -45,23 +68,42 @@ def run_measurement(
     """Warmup / measure / drain simulation protocol.
 
     Args:
-        traffic: per-cycle generator callable.
+        topology: any library topology instance.
+        traffic: per-cycle generator callable (see
+            :func:`repro.simulation.traffic.build_traffic`).
+        config: simulator parameters; defaults to :class:`SimConfig`.
         warmup: cycles before measurement starts (fills pipelines).
         measure: cycles during which created packets are tracked.
         drain: extra cycles (without tracking new packets) letting
             measured packets reach their destinations.
+        active_slots: terminal slots hosting traffic endpoints; pass the
+            mapped slots for trace-driven runs (defaults to all slots).
+        offered_rate: echoed into the report for curve building.
+
+    Returns:
+        A :class:`SimReport` whose latency statistics cover the
+        measurement window and whose ``switch_loads`` histogram counts
+        flits forwarded per switch during that window.
     """
     network = Network(topology, config=config, active_slots=active_slots)
     network.run(warmup, traffic)
     start = network.cycle
+    loads_before = dict(network.switch_flits)
     network.run(measure, traffic)
     end = network.cycle
+    loads_after = dict(network.switch_flits)
     network.run(drain, traffic)
 
     created = [p for p in network.packets if start <= p.created < end]
     window = [p for p in created if p.ejected is not None]
     latencies = [p.latency for p in window]
     ejected_rate = network.ejected_flits / max(1, network.cycle)
+    switch_loads = tuple(
+        sorted(
+            (switch_label(sw), loads_after[sw] - loads_before[sw])
+            for sw in loads_after
+        )
+    )
     return SimReport(
         cycles=network.cycle,
         offered_rate=offered_rate,
@@ -71,6 +113,7 @@ def run_measurement(
         p95_latency=_quantile(latencies, 0.95) if latencies else float("inf"),
         min_latency=min(latencies) if latencies else float("inf"),
         throughput_flits_per_cycle=ejected_rate,
+        switch_loads=switch_loads,
     )
 
 
@@ -85,7 +128,11 @@ def latency_vs_injection(
     active_slots: list[int] | None = None,
     traffic_seed: int = 7,
 ) -> list[SimReport]:
-    """Average packet latency across injection rates (Figure 8(b))."""
+    """Average packet latency across injection rates (Figure 8(b)).
+
+    Runs serially in-process; every report uses the same traffic seed so
+    the rate axis is swept under common random numbers.
+    """
     from repro.simulation.traffic import SyntheticTraffic
 
     reports = []

@@ -3,110 +3,41 @@
 Two families, mirroring the paper's experiments:
 
 * :class:`SyntheticTraffic` — rate-controlled synthetic patterns
-  (uniform, and the adversarial permutations used to stress each
-  topology in Figure 8(b)).
+  (uniform, hotspot, and the adversarial permutations used to stress
+  each topology in Figure 8(b)). Pattern functions live in
+  :mod:`repro.simulation.patterns`.
 * :class:`TraceTraffic` — injection driven by an application core graph
   and mapping, converting MB/s flow bandwidths into flit rates (the
   DSP-filter simulation of Figure 10(c)).
 
 All generators are callables invoked once per simulated cycle with the
 network as argument; they are deterministic given their seed.
+:func:`build_traffic` is the uniform construction entry point used by the
+CLI and the campaign runner: one ``(pattern, rate, seed)`` triple builds
+either family, with ``rate`` always meaning *offered flits/cycle/node*.
 """
 
 from __future__ import annotations
 
-import math
 from random import Random
 
 from repro.core.coregraph import CoreGraph
 from repro.errors import SimulationError
-
-
-def _bits(n: int) -> int:
-    return max(1, (n - 1).bit_length())
-
-
-def uniform(i: int, n: int, rng: Random) -> int:
-    dst = rng.randrange(n - 1)
-    return dst if dst < i else dst + 1
-
-
-def bit_complement(i: int, n: int, rng: Random) -> int:
-    if n & (n - 1) == 0:
-        return (~i) & (n - 1)
-    return (n - 1) - i
-
-
-def bit_reverse(i: int, n: int, rng: Random) -> int:
-    b = _bits(n)
-    out = 0
-    for k in range(b):
-        if i & (1 << k):
-            out |= 1 << (b - 1 - k)
-    return out % n
-
-
-def transpose(i: int, n: int, rng: Random) -> int:
-    k = int(math.isqrt(n))
-    if k * k == n:
-        return (i % k) * k + i // k
-    b = _bits(n)
-    half = b // 2
-    out = ((i << half) | (i >> (b - half))) & ((1 << b) - 1)
-    return out % n
-
-
-def tornado(i: int, n: int, rng: Random) -> int:
-    return (i + max(1, math.ceil(n / 2) - 1)) % n
-
-
-def neighbor(i: int, n: int, rng: Random) -> int:
-    return (i + 1) % n
-
-
-def shuffle(i: int, n: int, rng: Random) -> int:
-    b = _bits(n)
-    out = ((i << 1) | (i >> (b - 1))) & ((1 << b) - 1)
-    return out % n
-
-
-PATTERNS = {
-    "uniform": uniform,
-    "bit_complement": bit_complement,
-    "bit_reverse": bit_reverse,
-    "transpose": transpose,
-    "tornado": tornado,
-    "neighbor": neighbor,
-    "shuffle": shuffle,
-}
-
-#: Empirically worst standard permutation per topology family (measured
-#: at 0.35 flits/cycle/node on the 16-node instances) — the paper's
-#: "adversarial traffic pattern for each topology" (Section 6.2). The
-#: Clos has no adversarial permutation thanks to its path diversity.
-ADVERSARIAL_PATTERNS = {
-    "mesh": "bit_reverse",
-    "torus": "bit_reverse",
-    "hypercube": "transpose",
-    "clos": "tornado",
-    "butterfly": "bit_complement",
-}
-
-
-def adversarial_pattern(topology) -> str:
-    """The stress pattern for a topology instance (default transpose)."""
-    for prefix, pattern in ADVERSARIAL_PATTERNS.items():
-        if topology.name.startswith(prefix):
-            return pattern
-    return "transpose"
+from repro.simulation.patterns import (  # noqa: F401  (re-exported API)
+    ADVERSARIAL_PATTERNS,
+    APP_PATTERN,
+    PATTERNS,
+    adversarial_pattern,
+    resolve_pattern,
+)
 
 
 class SyntheticTraffic:
     """Open-loop synthetic traffic at a fixed injection rate.
 
     Args:
-        pattern: name from :data:`PATTERNS` or a callable
-            ``(src_index, n_nodes, rng) -> dst_index``.
+        pattern: name from :data:`~repro.simulation.patterns.PATTERNS` or
+            a callable ``(src_index, n_nodes, rng) -> dst_index``.
         injection_rate: offered load in flits/cycle/node (the x-axis of
             Figure 8(b)).
         seed: generator seed (independent of the network's).
@@ -115,14 +46,7 @@ class SyntheticTraffic:
     def __init__(self, pattern, injection_rate: float, seed: int = 7):
         if injection_rate < 0:
             raise SimulationError("injection rate must be non-negative")
-        if isinstance(pattern, str):
-            try:
-                pattern = PATTERNS[pattern]
-            except KeyError:
-                raise SimulationError(
-                    f"unknown pattern {pattern!r}; choose from {sorted(PATTERNS)}"
-                ) from None
-        self.pattern = pattern
+        self.pattern = resolve_pattern(pattern)
         self.injection_rate = injection_rate
         self.rng = Random(seed)
 
@@ -174,3 +98,53 @@ class TraceTraffic:
         for src_slot, dst_slot, rate in self.flows:
             if self.rng.random() < rate / plen:
                 network.create_packet(src_slot, dst_slot)
+
+
+def build_traffic(
+    pattern: str,
+    rate: float,
+    seed: int,
+    core_graph: CoreGraph | None = None,
+    assignment: dict[int, int] | None = None,
+    flit_width_bits: int = 32,
+    clock_mhz: float = 500.0,
+):
+    """Build a traffic generator from a ``(pattern, rate, seed)`` point.
+
+    ``rate`` is the offered load in flits/cycle/node for every pattern.
+    For the trace-driven :data:`~repro.simulation.patterns.APP_PATTERN`
+    (``"app"``) the application's nominal flow bandwidths are rescaled so
+    their *average* per-node injection equals ``rate`` — which makes one
+    rate axis comparable across synthetic and application traffic in a
+    campaign sweep.
+
+    Raises:
+        SimulationError: for an unknown pattern, or ``"app"`` without a
+            core graph and assignment.
+    """
+    if pattern == APP_PATTERN:
+        if core_graph is None or assignment is None:
+            raise SimulationError(
+                "the 'app' traffic pattern needs a core graph and a "
+                "core -> slot assignment"
+            )
+        nominal = TraceTraffic(
+            core_graph,
+            assignment,
+            flit_width_bits=flit_width_bits,
+            clock_mhz=clock_mhz,
+        ).offered_load()
+        if nominal <= 0:
+            raise SimulationError(
+                f"{core_graph.name}: application offers no traffic"
+            )
+        scale = rate * len(assignment) / nominal
+        return TraceTraffic(
+            core_graph,
+            assignment,
+            flit_width_bits=flit_width_bits,
+            clock_mhz=clock_mhz,
+            scale=scale,
+            seed=seed,
+        )
+    return SyntheticTraffic(pattern, rate, seed=seed)

@@ -12,6 +12,13 @@
    multi-path routing, splitting the traffic across many paths";
 3. **Generation**: build the xpipes netlist of the winner and emit its
    SystemC description.
+
+An optional fourth phase closes the loop the way the paper's Section 6
+experiments do: pass ``simulate=`` a
+:class:`~repro.simulation.campaign.CampaignConfig` (or ``True`` for the
+defaults) and the winner is validated by a flit-level simulation
+campaign — injection-rate sweeps across traffic patterns, with latency–
+throughput curves and saturation points attached to the report.
 """
 
 from __future__ import annotations
@@ -26,6 +33,11 @@ from repro.core.selector import SelectionResult, select_topology
 from repro.engine.engine import ExplorationEngine
 from repro.errors import MappingInfeasibleError
 from repro.physical.estimate import NetworkEstimator
+from repro.simulation.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    run_campaign,
+)
 from repro.topology.base import Topology
 from repro.xpipes.generator import generate_systemc
 from repro.xpipes.netlist import Netlist, build_netlist
@@ -43,6 +55,7 @@ class SunmapReport:
     attempted_routings: list[str]
     netlist: Netlist | None = None
     systemc: str | None = None
+    campaign: CampaignResult | None = None
 
     @property
     def best(self) -> MappingEvaluation | None:
@@ -74,6 +87,8 @@ class SunmapReport:
                     f"{len(self.netlist.nis)} NIs, "
                     f"{len(self.netlist.links)} links"
                 )
+        if self.campaign is not None:
+            lines.append(self.campaign.summary())
         return "\n".join(lines)
 
 
@@ -86,6 +101,7 @@ def run_sunmap(
     config: MapperConfig | None = None,
     estimator: NetworkEstimator | None = None,
     generate: bool = True,
+    simulate: CampaignConfig | bool = False,
     routing_fallbacks: tuple[str, ...] = DEFAULT_ROUTING_FALLBACKS,
     jobs: int = 1,
     engine: ExplorationEngine | None = None,
@@ -96,17 +112,34 @@ def run_sunmap(
         routing: first routing function to try (paper code DO/MP/SM/SA).
         routing_fallbacks: escalation sequence when nothing is feasible.
         generate: emit the winner's netlist and SystemC (phase 3).
-        jobs: parallel worker processes for the selection phase
-            (1 = serial); the report is identical regardless of ``jobs``.
+        simulate: validate the winner with a flit-level simulation
+            campaign (phase 4): pass a
+            :class:`~repro.simulation.campaign.CampaignConfig`, or
+            ``True`` for the default sweep. The campaign runs on the
+            winner's topology and mapping under the application trace
+            plus synthetic patterns, and lands in ``report.campaign``.
+        jobs: parallel worker processes for the selection and simulation
+            phases (1 = serial); the report is identical regardless of
+            ``jobs``.
         engine: explicit exploration engine (overrides ``jobs``); its
             evaluation cache is reused by any further calls made with
             the same engine (each fallback attempt uses a different
             routing code, so escalation itself never hits the cache).
 
     Raises:
+        ValueError: when ``topologies`` is an empty list — an empty
+            library can never produce a selection.
         MappingInfeasibleError: when no topology is feasible under any
             attempted routing function.
     """
+    if topologies is not None:
+        topologies = list(topologies)
+        if not topologies:
+            raise ValueError(
+                "run_sunmap received an empty topologies list; pass None "
+                "for the standard library or at least one topology "
+                "instance"
+            )
     estimator = estimator or NetworkEstimator()
     engine = engine or ExplorationEngine(jobs=jobs)
     attempted: list[str] = []
@@ -156,4 +189,16 @@ def run_sunmap(
             tech=estimator.tech,
         )
         report.systemc = generate_systemc(report.netlist, best.topology)
+
+    if simulate:
+        campaign_config = (
+            simulate if isinstance(simulate, CampaignConfig) else None
+        )
+        report.campaign = run_campaign(
+            best.topology,
+            core_graph=core_graph,
+            assignment=best.assignment,
+            config=campaign_config,
+            engine=engine,
+        )
     return report

@@ -9,6 +9,16 @@ from repro.core.coregraph import CoreGraph
 from repro.physical.estimate import NetworkEstimator
 from repro.topology.library import make_topology
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden selection-outcome files from the "
+        "current implementation instead of asserting against them",
+    )
+
 #: Topologies exercised by generic invariant tests, sized for 12 cores.
 GENERIC_TOPOLOGY_NAMES = (
     "mesh",

@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) for routing and route-table
+invariants on random applications across the whole topology library.
+
+Three families of invariants:
+
+* every computed route is a connected path from the source NI (terminal)
+  to the destination NI, through switches only;
+* link loads are conserved: the aggregate per-edge ledger equals the sum
+  of the per-flow demands crossing each edge;
+* dimension-ordered routes on mesh/torus resolve X strictly before Y
+  (never a Y->X turn — the classic deadlock-freedom argument).
+"""
+
+from __future__ import annotations
+
+import math
+from random import Random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.synthetic import random_core_graph
+from repro.core.greedy import initial_greedy_mapping
+from repro.routing.library import make_routing
+from repro.routing.loads import EdgeLoads
+from repro.simulation.routes import RouteTable
+from repro.topology.base import is_switch, is_term, term
+from repro.topology.library import make_topology
+
+LIBRARY_NAMES = (
+    "mesh",
+    "torus",
+    "hypercube",
+    "clos",
+    "butterfly",
+    "star",
+    "ring",
+)
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+app_params = st.tuples(
+    st.integers(4, 10),   # cores
+    st.integers(0, 1000),  # seed
+)
+
+
+def _routed(topo_name, n_cores, seed, code):
+    app = random_core_graph(n_cores, seed=seed)
+    topology = make_topology(topo_name, 12)
+    assignment = initial_greedy_mapping(app, topology)
+    result = make_routing(code).route_all(
+        topology, assignment, app.commodities()
+    )
+    return app, topology, assignment, result
+
+
+# ----------------------------------------------------------------------
+# routes are connected NI -> NI paths
+# ----------------------------------------------------------------------
+@SLOW
+@given(
+    app_params,
+    st.sampled_from(LIBRARY_NAMES),
+    st.sampled_from(["MP", "SM", "SA"]),
+)
+def test_routes_are_connected_ni_to_ni_paths(params, topo_name, code):
+    n_cores, seed = params
+    app, topology, assignment, result = _routed(
+        topo_name, n_cores, seed, code
+    )
+    graph = topology.graph
+    for rc in result.routed:
+        assert rc.paths, "commodity routed to zero paths"
+        for path, bw in rc.paths:
+            assert bw > 0
+            assert path[0] == term(assignment[rc.commodity.src])
+            assert path[-1] == term(assignment[rc.commodity.dst])
+            assert all(is_switch(node) for node in path[1:-1])
+            for u, v in zip(path, path[1:]):
+                assert graph.has_edge(u, v)
+            # A path never revisits a node (no routing loops).
+            assert len(set(path)) == len(path)
+
+
+# ----------------------------------------------------------------------
+# link-load conservation
+# ----------------------------------------------------------------------
+@SLOW
+@given(
+    app_params,
+    st.sampled_from(LIBRARY_NAMES),
+    st.sampled_from(["MP", "SM", "SA"]),
+)
+def test_link_loads_are_conserved(params, topo_name, code):
+    """The routing ledger equals the per-flow demands re-accumulated
+    edge by edge: nothing is dropped, duplicated or smeared."""
+    n_cores, seed = params
+    app, topology, assignment, result = _routed(
+        topo_name, n_cores, seed, code
+    )
+    recomputed = EdgeLoads()
+    for rc in result.routed:
+        assert rc.validate_conservation()
+        for path, bw in rc.paths:
+            recomputed.add_path(path, bw)
+    ledger = dict(result.loads.items())
+    rebuilt = dict(recomputed.items())
+    assert set(ledger) == set(rebuilt)
+    for edge, load in rebuilt.items():
+        assert math.isclose(ledger[edge], load, rel_tol=1e-9, abs_tol=1e-9)
+    assert math.isclose(
+        result.loads.total, recomputed.total, rel_tol=1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# dimension order: X resolves strictly before Y
+# ----------------------------------------------------------------------
+def _axis_moves(topology, path):
+    """Classify each switch-to-switch move of a path as 'x' or 'y'."""
+    switches = [n for n in path if is_switch(n)]
+    moves = []
+    for u, v in zip(switches, switches[1:]):
+        xu, yu = topology.position(u)
+        xv, yv = topology.position(v)
+        if xu != xv:
+            assert yu == yv, f"diagonal move {u} -> {v}"
+            moves.append("x")
+        else:
+            assert yu != yv, f"null move {u} -> {v}"
+            moves.append("y")
+    return moves
+
+
+@SLOW
+@given(
+    st.sampled_from(["mesh", "torus"]),
+    st.integers(4, 16),
+    st.integers(0, 15),
+    st.integers(0, 15),
+)
+def test_dor_never_turns_y_to_x(topo_name, n_cores, src, dst):
+    topology = make_topology(topo_name, n_cores)
+    src %= topology.num_slots
+    dst %= topology.num_slots
+    if src == dst:
+        return
+    path = topology.dor_path(src, dst)
+    moves = _axis_moves(topology, path)
+    assert moves == sorted(moves, key=lambda m: m != "x"), (
+        f"Y->X turn in dimension-ordered route {path}"
+    )
+
+
+@SLOW
+@given(
+    st.sampled_from(["mesh", "torus", "hypercube"]),
+    st.integers(4, 16),
+    st.integers(0, 15),
+    st.integers(0, 15),
+)
+def test_dor_path_is_minimal(topo_name, n_cores, src, dst):
+    """Dimension-ordered routes never exceed the hop distance."""
+    topology = make_topology(topo_name, n_cores)
+    src %= topology.num_slots
+    dst %= topology.num_slots
+    if src == dst:
+        return
+    path = topology.dor_path(src, dst)
+    switches = sum(1 for n in path if is_switch(n))
+    assert switches == topology.hop_distance(src, dst)
+
+
+# ----------------------------------------------------------------------
+# simulator route tables terminate at the right NI
+# ----------------------------------------------------------------------
+@SLOW
+@given(
+    st.sampled_from(LIBRARY_NAMES),
+    st.integers(0, 11),
+    st.integers(0, 11),
+    st.integers(0, 1000),
+)
+def test_route_table_walk_reaches_destination(topo_name, src, dst, seed):
+    """Following next_hop from any source always ejects at the
+    destination NI within a hop bound — the invariant the flit
+    simulator (and hence every campaign) rests on."""
+    topology = make_topology(topo_name, 12)
+    src %= topology.num_slots
+    dst %= topology.num_slots
+    if src == dst:
+        return
+    table = RouteTable(topology)
+    rng = Random(seed)
+    node = topology.switch_of(src)
+    for _ in range(topology.graph.number_of_nodes()):
+        node = table.next_hop(node, dst, rng)
+        if is_term(node):
+            break
+    assert node == term(dst)

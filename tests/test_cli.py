@@ -77,6 +77,55 @@ class TestSimulateAndGenerate:
         ]) == 0
         assert "mesh" in capsys.readouterr().out
 
+    def test_simulate_campaign(self, capsys):
+        assert main([
+            "simulate", "--app", "dsp", "--topology", "mesh",
+            "--rates", "0.1,0.4", "--patterns", "app,uniform",
+            "--seeds", "1", "--cycles", "600", "--warmup", "200",
+            "--drain", "600", "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: dsp-filter" in out
+        assert "saturation rates" in out
+
+    def test_simulate_campaign_markdown(self, capsys):
+        assert main([
+            "simulate", "--app", "dsp", "--topology", "mesh",
+            "--rates", "0.1", "--patterns", "uniform,adversarial",
+            "--cycles", "400", "--warmup", "100", "--drain", "400",
+            "--markdown",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "| pattern |" in out
+        assert "bit_reverse" in out  # mesh's adversarial permutation
+
+    def test_simulate_campaign_bad_rates(self, capsys):
+        code = main([
+            "simulate", "--app", "dsp", "--topology", "mesh",
+            "--rates", "0.4,0.1",
+        ])
+        assert code == 1
+        assert "increasing" in capsys.readouterr().err
+
+    def test_simulate_campaign_malformed_rates(self, capsys):
+        code = main([
+            "simulate", "--app", "dsp", "--topology", "mesh",
+            "--rates", "0.1,abc",
+        ])
+        assert code == 1
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_simulate_campaign_adversarial_alias_deduped(self, capsys):
+        # On mesh, 'adversarial' resolves to bit_reverse; listing both
+        # must not double-count the pattern.
+        assert main([
+            "simulate", "--app", "dsp", "--topology", "mesh",
+            "--rates", "0.1", "--patterns", "bit_reverse,adversarial",
+            "--cycles", "400", "--warmup", "100", "--drain", "400",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("bit_reverse ") == 1  # one curve row, not two
+
     def test_generate_to_file(self, capsys, tmp_path):
         out_file = tmp_path / "dsp.cpp"
         assert main([

@@ -173,3 +173,11 @@ class TestDsp:
         assert report.best is None
         assert report.netlist is None
         assert "NO FEASIBLE" in report.summary()
+
+    def test_empty_topology_list_raises_value_error(self, dsp_app):
+        """An empty library is a caller bug, not a 'no feasible
+        topology' outcome — both entry points refuse it up front."""
+        with pytest.raises(ValueError, match="empty topologies list"):
+            run_sunmap(dsp_app, topologies=[])
+        with pytest.raises(ValueError, match="empty topologies list"):
+            select_topology(dsp_app, topologies=[])
