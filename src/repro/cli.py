@@ -210,6 +210,29 @@ def _csv(text: str, cast):
 
 
 def cmd_simulate(args) -> int:
+    if args.profile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return _cmd_simulate(args)
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative")
+            print("\n--- cProfile (top 25 by cumulative time) ---",
+                  file=sys.stderr)
+            stats.print_stats(25)
+            if args.profile:
+                stats.dump_stats(args.profile)
+                print(f"profile data written to {args.profile} "
+                      f"(inspect with python -m pstats)", file=sys.stderr)
+    return _cmd_simulate(args)
+
+
+def _cmd_simulate(args) -> int:
     app = load_application(args.app)
     topology = make_topology(args.topology, app.num_cores)
     if args.rates is None:
@@ -370,6 +393,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--markdown", action="store_true",
         help="print campaign curves as a markdown table",
+    )
+    p.add_argument(
+        "--profile", nargs="?", const="", default=None, metavar="PATH",
+        help="profile the simulation under cProfile and print the top "
+        "functions to stderr; with PATH, also dump the raw stats for "
+        "python -m pstats",
     )
     _add_jobs(p)
 

@@ -15,6 +15,11 @@ fully deterministic given their seed.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.engine.cache import EvaluationCache
+
 import math
 import random
 from dataclasses import dataclass
@@ -24,6 +29,8 @@ from repro.core.coregraph import CoreGraph
 from repro.core.evaluate import MappingEvaluation, evaluate_mapping
 from repro.core.greedy import initial_greedy_mapping
 from repro.core.mapper import _resolve, _score
+from repro.core.memo import MemoizedMappingEvaluator
+from repro.errors import ReproError
 from repro.physical.estimate import NetworkEstimator
 from repro.topology.base import Topology
 
@@ -62,15 +69,23 @@ class AnnealingConfig:
 
 
 def _random_swap(assignment: dict, num_slots: int, rng: random.Random) -> dict:
-    """Swap two slots (possibly moving a core into a free slot)."""
+    """Swap two slots (possibly moving a core into a free slot).
+
+    The target slot is resampled until it differs from the source slot,
+    so every call (on a topology with at least two slots) proposes a
+    real move — the previous early-return on ``s1 == s2`` silently
+    wasted an annealing iteration *and* skipped its cooling step.
+    """
     cores = list(assignment)
     slot_to_core = {s: c for c, s in assignment.items()}
     candidate = dict(assignment)
     c1 = rng.choice(cores)
     s1 = assignment[c1]
+    if num_slots < 2:
+        return candidate  # nowhere to move: degenerate single-slot case
     s2 = rng.randrange(num_slots)
-    if s1 == s2:
-        return candidate
+    while s2 == s1:
+        s2 = rng.randrange(num_slots)
     c2 = slot_to_core.get(s2)
     candidate[c1] = s2
     if c2 is not None:
@@ -87,6 +102,7 @@ def simulated_annealing_map(
     estimator: NetworkEstimator | None = None,
     config: AnnealingConfig | None = None,
     initial_assignment: dict | None = None,
+    cache: EvaluationCache | None = None,
 ) -> MappingEvaluation:
     """Anneal over slot-swap moves.
 
@@ -95,6 +111,10 @@ def simulated_annealing_map(
             Passing the swap search's result turns annealing into a
             refinement pass (the returned mapping is never worse than
             the starting one).
+        cache: optional shared :class:`~repro.engine.cache.
+            EvaluationCache`; ``None`` uses a private per-run cache.
+            Either way a revisited assignment (walks returning to an
+            earlier state) is never routed twice.
     """
     routing, objective = _resolve(routing, objective)
     constraints = constraints or Constraints()
@@ -102,18 +122,21 @@ def simulated_annealing_map(
     config = config or AnnealingConfig()
     rng = random.Random(config.seed)
     with_floorplan = config.floorplan_each_step or objective.needs_floorplan
+    memo = MemoizedMappingEvaluator(
+        core_graph, topology, routing, constraints, estimator,
+        cache=cache, objective=objective,
+    )
 
     def run(assignment):
-        ev = evaluate_mapping(
-            core_graph, topology, assignment, routing, constraints,
-            estimator=estimator, with_floorplan=with_floorplan,
-        )
+        ev = memo.evaluate(assignment, with_floorplan=with_floorplan)
         return _score(ev, objective)
 
     if initial_assignment is None:
         initial_assignment = initial_greedy_mapping(core_graph, topology)
     current = run(dict(initial_assignment))
+    current_scalar = _scalar(current)
     best = current
+    best_scalar = current_scalar
 
     temperature = config.initial_temperature
     if temperature is None:
@@ -121,36 +144,38 @@ def simulated_annealing_map(
         # (the infeasibility offset would otherwise make T astronomical):
         # probe a handful of random swaps and set T0 to the mean |delta|,
         # giving roughly 40-60% initial acceptance of uphill moves.
-        base = _scalar(current)
         deltas = []
         for _ in range(15):
             probe = _random_swap(current.assignment, topology.num_slots, rng)
             if probe == current.assignment:
                 continue
-            deltas.append(abs(_scalar(run(probe)) - base))
+            deltas.append(abs(_scalar(run(probe)) - current_scalar))
         meaningful = [d for d in deltas if 0 < d < _INFEASIBLE_OFFSET / 2]
         temperature = max(1e-6, sum(meaningful) / len(meaningful)) if (
             meaningful
         ) else 1.0
 
+    # The acceptance test compares cached scalars: _scalar(current) and
+    # _scalar(best) are invariant between moves, so recomputing them
+    # every iteration (the old behaviour) did redundant work per step.
     for _ in range(config.iterations):
         candidate_assignment = _random_swap(
             current.assignment, topology.num_slots, rng
         )
         if candidate_assignment == current.assignment:
-            continue
+            continue  # degenerate single-slot topology: no real move
         candidate = run(candidate_assignment)
-        delta = _scalar(candidate) - _scalar(current)
+        candidate_scalar = _scalar(candidate)
+        delta = candidate_scalar - current_scalar
         if delta <= 0 or rng.random() < math.exp(-delta / temperature):
             current = candidate
-            if _scalar(current) < _scalar(best):
+            current_scalar = candidate_scalar
+            if current_scalar < best_scalar:
                 best = current
+                best_scalar = current_scalar
         temperature *= config.cooling
 
-    final = evaluate_mapping(
-        core_graph, topology, best.assignment, routing, constraints,
-        estimator=estimator, with_floorplan=True,
-    )
+    final = memo.evaluate(best.assignment, with_floorplan=True)
     return _score(final, objective)
 
 
@@ -173,6 +198,7 @@ def random_search_map(
     n = core_graph.num_cores
 
     best: MappingEvaluation | None = None
+    best_scalar = math.inf
     for _ in range(iterations):
         chosen = rng.sample(slots, n)
         assignment = {core: slot for core, slot in zip(range(n), chosen)}
@@ -181,8 +207,18 @@ def random_search_map(
             estimator=estimator, with_floorplan=False,
         )
         _score(ev, objective)
-        if best is None or _scalar(ev) < _scalar(best):
+        scalar = _scalar(ev)
+        if best is None or scalar < best_scalar:
             best = ev
+            best_scalar = scalar
+    if best is None:
+        # iterations < 1 (or an empty search space) would otherwise
+        # surface as an AttributeError on ``best.assignment`` below.
+        raise ReproError(
+            f"random search evaluated no mapping of {core_graph.name!r} "
+            f"onto {topology.name!r} (iterations={iterations}); use "
+            f"iterations >= 1"
+        )
     final = evaluate_mapping(
         core_graph, topology, best.assignment, routing, constraints,
         estimator=estimator, with_floorplan=True,

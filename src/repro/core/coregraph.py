@@ -91,6 +91,8 @@ class CoreGraph:
         self._cores: list[Core] = []
         self._by_name: dict[str, int] = {}
         self._flows: dict[tuple[int, int], float] = {}
+        self._commodities_cache: list[Commodity] | None = None
+        self._total_area_cache: float | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -128,6 +130,7 @@ class CoreGraph:
             )
         )
         self._by_name[name] = index
+        self._total_area_cache = None
         return index
 
     def add_flow(self, src: int | str, dst: int | str, bandwidth: float) -> None:
@@ -139,6 +142,7 @@ class CoreGraph:
         if bandwidth <= 0:
             raise CoreGraphError("flow bandwidth must be positive")
         self._flows[(si, di)] = self._flows.get((si, di), 0.0) + bandwidth
+        self._commodities_cache = None
 
     # ------------------------------------------------------------------
     # queries
@@ -182,13 +186,15 @@ class CoreGraph:
 
         Ties are broken by (src, dst) so the order is deterministic.
         """
-        items = sorted(
-            self._flows.items(), key=lambda kv: (-kv[1], kv[0][0], kv[0][1])
-        )
-        return [
-            Commodity(index=k, src=s, dst=d, value=v)
-            for k, ((s, d), v) in enumerate(items)
-        ]
+        if self._commodities_cache is None:
+            items = sorted(
+                self._flows.items(), key=lambda kv: (-kv[1], kv[0][0], kv[0][1])
+            )
+            self._commodities_cache = [
+                Commodity(index=k, src=s, dst=d, value=v)
+                for k, ((s, d), v) in enumerate(items)
+            ]
+        return list(self._commodities_cache)
 
     def total_bandwidth(self) -> float:
         """Sum of all commodity values in MB/s."""
@@ -206,7 +212,9 @@ class CoreGraph:
         return self.comm(a, b) + self.comm(b, a)
 
     def total_core_area(self) -> float:
-        return sum(c.area_mm2 for c in self._cores)
+        if self._total_area_cache is None:
+            self._total_area_cache = sum(c.area_mm2 for c in self._cores)
+        return self._total_area_cache
 
     def to_networkx(self) -> nx.DiGraph:
         """Export as a networkx DiGraph (``comm`` edge attribute in MB/s)."""

@@ -21,14 +21,20 @@ knob measured by ``bench_ablation_swap``.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.engine.cache import EvaluationCache
+
 import math
 from dataclasses import dataclass
 from itertools import combinations
 
 from repro.core.constraints import Constraints
 from repro.core.coregraph import CoreGraph
-from repro.core.evaluate import MappingEvaluation, evaluate_mapping
+from repro.core.evaluate import MappingEvaluation
 from repro.core.greedy import initial_greedy_mapping
+from repro.core.memo import MemoizedMappingEvaluator
 from repro.core.objectives import Objective, make_objective
 from repro.errors import ReproError
 from repro.physical.estimate import NetworkEstimator
@@ -85,12 +91,18 @@ def map_onto(
     estimator: NetworkEstimator | None = None,
     config: MapperConfig | None = None,
     collector: list | None = None,
+    cache: EvaluationCache | None = None,
 ) -> MappingEvaluation:
     """Map a core graph onto one topology and return the best evaluation.
 
     Args:
         collector: optional list receiving *every* evaluated mapping
             (used for the Pareto exploration of Figure 9(b)).
+        cache: optional shared :class:`~repro.engine.cache.
+            EvaluationCache` memoizing per-assignment evaluations
+            (content-keyed); ``None`` uses a private per-search cache,
+            so the swap search never routes the same assignment twice
+            either way.
 
     Raises:
         MappingInfeasibleError: if the application has more cores than
@@ -113,16 +125,13 @@ def map_onto(
             objective.needs_floorplan or constraints.max_area_mm2 is not None
         )
 
+    memo = MemoizedMappingEvaluator(
+        core_graph, topology, routing, constraints, estimator,
+        cache=cache, objective=objective,
+    )
+
     def run(assignment: dict[int, int]) -> MappingEvaluation:
-        ev = evaluate_mapping(
-            core_graph,
-            topology,
-            assignment,
-            routing,
-            constraints,
-            estimator=estimator,
-            with_floorplan=fp_in_loop,
-        )
+        ev = memo.evaluate(assignment, with_floorplan=fp_in_loop)
         _score(ev, objective)
         if collector is not None:
             collector.append(ev)
@@ -138,16 +147,9 @@ def map_onto(
         best = candidate
 
     # Final authoritative evaluation with the floorplanner on, so every
-    # reported mapping carries area/power numbers and a real area check.
-    final = evaluate_mapping(
-        core_graph,
-        topology,
-        best.assignment,
-        routing,
-        constraints,
-        estimator=estimator,
-        with_floorplan=True,
-    )
+    # reported mapping carries area/power numbers and a real area check
+    # (a cache hit when the search already floorplanned this winner).
+    final = memo.evaluate(best.assignment, with_floorplan=True)
     return _score(final, objective)
 
 

@@ -1,0 +1,137 @@
+"""Assignment-level memoization of :func:`~repro.core.evaluate.evaluate_mapping`.
+
+The pairwise-swap search (:mod:`repro.core.mapper`) and the annealing
+refinement (:mod:`repro.core.annealing`) both revisit assignments — the
+swap that undoes the previous round's best move, annealing walks that
+return to an earlier state, the final authoritative re-evaluation of the
+winning assignment. Routing and floorplanning the same assignment twice
+is pure waste: :func:`evaluate_mapping` is deterministic in its inputs.
+
+:class:`MemoizedMappingEvaluator` wraps one search's evaluation context
+(core graph, topology, routing function, constraints, estimator) around
+PR-1's content-keyed :class:`~repro.engine.cache.EvaluationCache`, keyed
+by assignment fingerprint plus the floorplan flag. Hits return the
+previously evaluated :class:`~repro.core.evaluate.MappingEvaluation`
+object itself — callers treat evaluations as immutable apart from the
+``cost`` field, which objectives re-assign idempotently.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.constraints import Constraints
+from repro.core.coregraph import CoreGraph
+from repro.core.evaluate import MappingEvaluation, evaluate_mapping
+from repro.physical.estimate import NetworkEstimator
+from repro.routing.base import RoutingFunction
+from repro.topology.base import Topology
+
+if TYPE_CHECKING:  # runtime import is lazy: engine's package __init__
+    from repro.engine.cache import EvaluationCache  # imports the mapper
+
+
+class MemoizedMappingEvaluator:
+    """Evaluate assignments through a content-keyed cache.
+
+    Args:
+        cache: an :class:`~repro.engine.cache.EvaluationCache` to share
+            across searches (pass the same instance to several
+            ``map_onto`` calls to pool their work); ``None`` creates a
+            private unbounded cache for this search.
+
+    With a private cache the key is just the assignment (the context is
+    fixed by construction); with a shared cache the key is prefixed by
+    content fingerprints of the whole evaluation context, so two
+    searches can never serve each other stale results.
+    """
+
+    __slots__ = (
+        "core_graph",
+        "topology",
+        "routing",
+        "constraints",
+        "estimator",
+        "cache",
+        "_context",
+    )
+
+    def __init__(
+        self,
+        core_graph: CoreGraph,
+        topology: Topology,
+        routing: RoutingFunction,
+        constraints: Constraints,
+        estimator: NetworkEstimator,
+        cache: EvaluationCache | None = None,
+        objective=None,
+    ):
+        self.core_graph = core_graph
+        self.topology = topology
+        self.routing = routing
+        self.constraints = constraints
+        self.estimator = estimator
+        if cache is None:
+            from repro.engine.cache import EvaluationCache
+
+            self.cache = EvaluationCache(max_entries=None)
+            self._context = None
+        else:
+            self.cache = cache
+            # Lazy import: repro.engine.fingerprint imports the mapper,
+            # which imports this module.
+            from repro.engine.fingerprint import (
+                constraints_fingerprint,
+                core_graph_fingerprint,
+                estimator_fingerprint,
+                objective_fingerprint,
+                topology_fingerprint,
+            )
+
+            # The objective is part of the shared-cache key even though
+            # it does not influence routing: callers re-assign
+            # ``evaluation.cost`` after scoring, and two searches with
+            # different objectives must therefore never share the
+            # MappingEvaluation objects the cache hands back.
+            self._context = (
+                core_graph_fingerprint(core_graph),
+                topology_fingerprint(topology),
+                type(routing).__name__,
+                routing.code,
+                tuple(sorted(vars(routing).items())),
+                constraints_fingerprint(constraints),
+                estimator_fingerprint(estimator),
+                None if objective is None else objective_fingerprint(
+                    objective
+                ),
+            )
+
+    @property
+    def stats(self):
+        """Hit/miss counters of the underlying cache."""
+        return self.cache.stats
+
+    def evaluate(
+        self, assignment: dict[int, int], with_floorplan: bool
+    ) -> MappingEvaluation:
+        """Route/check/measure ``assignment``, or return the cached
+        evaluation of a bit-identical earlier one."""
+        key = (
+            self._context,
+            tuple(sorted(assignment.items())),
+            with_floorplan,
+        )
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        evaluation = evaluate_mapping(
+            self.core_graph,
+            self.topology,
+            assignment,
+            self.routing,
+            self.constraints,
+            estimator=self.estimator,
+            with_floorplan=with_floorplan,
+        )
+        self.cache.put(key, evaluation)
+        return evaluation

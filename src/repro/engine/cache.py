@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from threading import Lock
+from typing import TYPE_CHECKING
 
-from repro.engine.jobs import JobResult
+if TYPE_CHECKING:  # break the jobs -> core -> memo -> cache cycle
+    from repro.engine.jobs import JobResult
 
 
 @dataclass
@@ -54,6 +56,12 @@ class EvaluationCache:
     process executor populates the same cache the serial one does.
     Oldest entries are evicted beyond ``max_entries`` (``None`` disables
     the bound, ``0`` disables caching).
+
+    The store is payload-agnostic: the engine keeps
+    :class:`~repro.engine.jobs.JobResult` records in it, while the
+    mapping search (:mod:`repro.core.memo`) memoizes raw
+    :class:`~repro.core.evaluate.MappingEvaluation` objects keyed by
+    assignment fingerprint.
     """
 
     max_entries: int | None = DEFAULT_MAX_ENTRIES

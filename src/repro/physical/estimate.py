@@ -11,15 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.physical.library import AreaPowerLibrary
-from repro.physical.link_power import (
-    link_dynamic_power_mw,
-    link_leakage_power_mw,
-)
+from repro.physical.link_power import link_leakage_power_mw
 from repro.physical.switch_area import SwitchConfig, channel_area_mm2
 from repro.physical.switch_power import BITS_PER_MB
 from repro.physical.technology import TECH_100NM, Technology
 from repro.routing.base import RoutingResult
-from repro.topology.base import Topology, is_switch
+from repro.topology.base import SW, Topology, is_switch
 
 
 @dataclass
@@ -52,6 +49,33 @@ class NetworkEstimator:
             flit_width_bits=self.tech.flit_width_bits,
             buffer_depth_flits=self.tech.buffer_depth_flits,
         )
+
+    def _physical_tables(self, topology: Topology) -> tuple[dict, dict]:
+        """Per-topology lookup tables for the power/area walks.
+
+        Returns ``(entry_by_switch, nominal_length_by_edge)``: the
+        library entry of every switch and the nominal ``length``
+        attribute of every edge. Both depend only on the topology and
+        the technology point, so they are cached *on the topology
+        object*, keyed by technology — topologies outlive estimator
+        instances (and estimators get re-created per engine job), and a
+        topology-resident cache also survives estimator pickling into
+        worker processes.
+        """
+        cache = topology.__dict__.setdefault("_phys_tables_cache", {})
+        key = (type(self).__name__, self.tech)
+        tables = cache.get(key)
+        if tables is None:
+            entries = {
+                sw: self.library.entry(self.switch_config(topology, sw))
+                for sw in topology.switches
+            }
+            lengths = {
+                (u, v): d["length"]
+                for u, v, d in topology.graph.edges(data=True)
+            }
+            tables = cache[key] = (entries, lengths)
+        return tables
 
     def used_switches(
         self, topology: Topology, result: RoutingResult | None
@@ -93,46 +117,73 @@ class NetworkEstimator:
                 not in ``lengths_mm``.
         """
         breakdown = PowerBreakdown()
+        entries, nominal = self._physical_tables(topology)
+        tech = self.tech
+        link_energy = tech.link_energy_pj_per_bit_mm
         # Dynamic power: walk every routed path, charging switch and wire
         # energy per bit (Section 5: "power dissipation for the switches
-        # and links are calculated based on the average traffic").
+        # and links are calculated based on the average traffic"). The
+        # wire term inlines link_dynamic_power_mw with the identical
+        # operation order (bit-identical floats).
+        switch_dynamic = 0.0
+        link_dynamic = 0.0
         for rc in result.routed:
             for path, bw in rc.paths:
                 bits_per_s = bw * BITS_PER_MB
                 for node in path:
-                    if is_switch(node):
-                        entry = self.library.entry(
-                            self.switch_config(topology, node)
+                    if node[0] == SW:
+                        switch_dynamic += (
+                            bits_per_s
+                            * entries[node].energy_pj_per_bit
+                            * 1e-9
                         )
-                        breakdown.switch_dynamic += (
-                            bits_per_s * entry.energy_pj_per_bit * 1e-9
-                        )
-                for u, v in zip(path, path[1:]):
-                    length = self.edge_length_mm(
-                        topology, u, v, lengths_mm, pitch_mm
+                for edge in zip(path, path[1:]):
+                    if lengths_mm is not None and edge in lengths_mm:
+                        length = lengths_mm[edge]
+                    else:
+                        length = nominal[edge] * pitch_mm
+                    link_dynamic += (
+                        bits_per_s * (link_energy * length) * 1e-12 * 1e3
                     )
-                    breakdown.link_dynamic += link_dynamic_power_mw(
-                        bw, length, self.tech
-                    )
-        # Static power: every instantiated switch clocks and leaks.
-        for sw in self.used_switches(topology, result):
-            entry = self.library.entry(self.switch_config(topology, sw))
+        breakdown.switch_dynamic = switch_dynamic
+        breakdown.link_dynamic = link_dynamic
+
+        # Static power: every instantiated switch clocks and leaks, and
+        # instantiated channels leak through their repeaters. For direct
+        # topologies with nominal lengths this is mapping-independent
+        # (every switch hosts a slot), so the two loops' results are
+        # cached per (estimator type, tech, pitch) on the topology —
+        # computed once by the exact legacy accumulation order.
+        static_cache = None
+        static_key = None
+        if topology.kind == "direct" and lengths_mm is None:
+            static_cache = topology.__dict__.setdefault(
+                "_static_power_cache", {}
+            )
+            static_key = (type(self).__name__, tech, pitch_mm)
+            cached = static_cache.get(static_key)
+            if cached is not None:
+                breakdown.clock, breakdown.leakage = cached
+                return breakdown
+        used = self.used_switches(topology, result)
+        for sw in used:
+            entry = entries[sw]
             breakdown.clock += (
-                self.tech.clock_power_mw_per_port
+                tech.clock_power_mw_per_port
                 * (entry.config.n_in + entry.config.n_out)
                 / 2.0
             )
-            breakdown.leakage += (
-                self.tech.leakage_mw_per_mm2 * entry.area_mm2
-            )
+            breakdown.leakage += tech.leakage_mw_per_mm2 * entry.area_mm2
         # Link repeater leakage over instantiated channels.
-        used = self.used_switches(topology, result)
         for u, v in topology.net_edges():
             if u in used and v in used:
-                length = self.edge_length_mm(
-                    topology, u, v, lengths_mm, pitch_mm
-                )
-                breakdown.leakage += link_leakage_power_mw(length, self.tech)
+                if lengths_mm is not None and (u, v) in lengths_mm:
+                    length = lengths_mm[(u, v)]
+                else:
+                    length = nominal[(u, v)] * pitch_mm
+                breakdown.leakage += link_leakage_power_mw(length, tech)
+        if static_cache is not None:
+            static_cache[static_key] = (breakdown.clock, breakdown.leakage)
         return breakdown
 
     # ------------------------------------------------------------------
@@ -140,8 +191,9 @@ class NetworkEstimator:
         self, topology: Topology, result: RoutingResult | None = None
     ) -> float:
         """Total silicon area of the instantiated switches."""
+        entries, _ = self._physical_tables(topology)
         return sum(
-            self.library.entry(self.switch_config(topology, sw)).area_mm2
+            entries[sw].area_mm2
             for sw in self.used_switches(topology, result)
         )
 
@@ -153,13 +205,15 @@ class NetworkEstimator:
         pitch_mm: float = 2.0,
     ) -> float:
         """Total wiring area of the instantiated inter-switch channels."""
+        _, nominal = self._physical_tables(topology)
         used = self.used_switches(topology, result)
         total = 0.0
         for u, v in topology.net_edges():
             if u in used and v in used:
-                length = self.edge_length_mm(
-                    topology, u, v, lengths_mm, pitch_mm
-                )
+                if lengths_mm is not None and (u, v) in lengths_mm:
+                    length = lengths_mm[(u, v)]
+                else:
+                    length = nominal[(u, v)] * pitch_mm
                 total += channel_area_mm2(
                     length, self.tech.flit_width_bits, self.tech
                 )

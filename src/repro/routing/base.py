@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.core.coregraph import Commodity
 from repro.routing.loads import EdgeLoads
-from repro.topology.base import Topology, is_switch
+from repro.topology.base import SW, Topology
 
 
 @dataclass
@@ -43,10 +43,13 @@ class RoutedCommodity:
         """Bandwidth-weighted switch count over this commodity's paths."""
         if self.commodity.value <= 0:
             return 0.0
-        total = sum(
-            bw * sum(1 for n in path if is_switch(n))
-            for path, bw in self.paths
-        )
+        total = 0
+        for path, bw in self.paths:
+            count = 0
+            for n in path:
+                if n[0] == SW:
+                    count += 1
+            total = total + bw * count
         return total / self.commodity.value
 
     def validate_conservation(self, tol: float = 1e-6) -> bool:

@@ -22,14 +22,25 @@ class EdgeLoads:
 
     def add_path(self, path: list, value: float) -> None:
         """Add ``value`` MB/s along every edge of a node path."""
-        for u, v in zip(path, path[1:]):
-            self.add(u, v, value)
+        loads = self._loads
+        total = self._total
+        for edge in zip(path, path[1:]):
+            loads[edge] = loads.get(edge, 0.0) + value
+            total += value
+        self._total = total
 
     def get(self, u, v) -> float:
         return self._loads.get((u, v), 0.0)
 
     def items(self):
         return self._loads.items()
+
+    @property
+    def edge_map(self) -> dict:
+        """The live ``{(u, v): MB/s}`` ledger (read-only by convention);
+        lets hot search loops bind one ``dict.get`` instead of calling
+        :meth:`get` per edge relaxation."""
+        return self._loads
 
     @property
     def total(self) -> float:
@@ -40,7 +51,13 @@ class EdgeLoads:
         """Largest per-edge load, optionally restricted to ``edges``."""
         if edges is None:
             return max(self._loads.values(), default=0.0)
-        return max((self._loads.get(tuple(e), 0.0) for e in edges), default=0.0)
+        loads_get = self._loads.get
+        best = 0.0
+        for e in edges:
+            load = loads_get(tuple(e), 0.0)
+            if load > best:
+                best = load
+        return best
 
     def copy(self) -> "EdgeLoads":
         clone = EdgeLoads()

@@ -15,7 +15,12 @@ from __future__ import annotations
 
 from repro.routing.base import RoutingFunction
 from repro.routing.loads import EdgeLoads
-from repro.routing.shortest import min_hop_then_load, routing_view
+from repro.routing.shortest import (
+    _dijkstra_min_hop,
+    min_hop_then_load,
+    quadrant_search_entry,
+    topology_routing_view,
+)
 from repro.topology.base import Topology, term
 
 
@@ -30,10 +35,9 @@ class MinimumPathRouting(RoutingFunction):
         self.use_quadrant = use_quadrant
 
     def _search_graph(self, topology: Topology, src_slot, dst_slot):
-        s, d = term(src_slot), term(dst_slot)
         if self.use_quadrant:
             return topology.quadrant_subgraph(src_slot, dst_slot)
-        return routing_view(topology.graph, s, d)
+        return topology_routing_view(topology, src_slot, dst_slot)
 
     def route_commodity(
         self,
@@ -43,9 +47,24 @@ class MinimumPathRouting(RoutingFunction):
         value: float,
         loads: EdgeLoads,
     ) -> list[tuple[list, float]]:
-        graph = self._search_graph(topology, src_slot, dst_slot)
-        path = min_hop_then_load(
-            graph, term(src_slot), term(dst_slot), loads, value
+        if not self.use_quadrant:
+            graph = self._search_graph(topology, src_slot, dst_slot)
+            path = min_hop_then_load(
+                graph, term(src_slot), term(dst_slot), loads, value
+            )
+            loads.add_path(path, value)
+            return [(path, value)]
+        # Quadrant fast path: one cached lookup resolves either the
+        # pair's forced minimum path or the Dijkstra search context.
+        unique, succ, num_nodes = quadrant_search_entry(
+            topology, src_slot, dst_slot
         )
+        if unique is not None:
+            path = list(unique)
+        else:
+            scale = max(1.0, (loads.total + value) * (num_nodes + 1))
+            path = _dijkstra_min_hop(
+                succ, term(src_slot), term(dst_slot), loads.edge_map, scale
+            )
         loads.add_path(path, value)
         return [(path, value)]

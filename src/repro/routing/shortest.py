@@ -9,14 +9,93 @@ Two weightings:
 * :func:`load_then_hops` — load dominates; a tiny per-hop epsilon keeps
   zero-load searches minimal. Used by split-across-all-paths routing,
   which may leave the quadrant to avoid congestion.
+
+Both run a faithful in-module port of networkx's Dijkstra
+(:func:`_dijkstra_path`) over a cached adjacency snapshot of the search
+graph: identical float accumulation, identical heap tie-breaking (push
+counter) and identical strict-improvement predecessor updates, so the
+returned paths are bit-for-bit the ones ``nx.dijkstra_path`` produced —
+without the per-call dispatch, argument mapping and filtered-view
+iteration overhead that dominated the mapper's profile. The adjacency
+snapshot per graph object is safe because topology graphs (and their
+cached quadrant views) are immutable after construction.
 """
 
 from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import islice
+from weakref import WeakKeyDictionary
 
 import networkx as nx
 
 from repro.routing.loads import EdgeLoads
 from repro.topology.base import is_switch
+
+#: graph object -> (successor lists in ``G._adj`` order, node count).
+#: Values hold only node tuples, never the key graph, so weak keying
+#: actually collects entries when a graph dies.
+_succ_cache: WeakKeyDictionary = WeakKeyDictionary()
+
+#: graph object -> {(src, dst): unique min-hop path or None}.
+_single_path_cache: WeakKeyDictionary = WeakKeyDictionary()
+
+
+def _successors(graph: nx.DiGraph) -> tuple[dict, int]:
+    """Snapshot ``graph``'s adjacency as plain lists (cached).
+
+    Neighbor order matches ``graph._adj`` iteration exactly — that order
+    decides Dijkstra's heap tie-breaking, so it must be preserved. For
+    induced-subgraph views (``G.subgraph(nodes)``) the snapshot is built
+    from the parent's adjacency filtered by the node set — the same
+    order the view's FilterAdjacency yields, minus its per-item wrapper
+    overhead.
+    """
+    cached = _succ_cache.get(graph)
+    if cached is None:
+        node_filter = getattr(graph, "_NODE_OK", None)
+        keep_nodes = getattr(node_filter, "nodes", None)
+        parent = getattr(graph, "_graph", None)
+        if keep_nodes is not None and parent is not None:
+            parent_adj = parent._adj
+            succ = {
+                v: [u for u in parent_adj[v] if u in keep_nodes]
+                for v in parent_adj
+                if v in keep_nodes
+            }
+        else:
+            adj = graph._adj
+            succ = {v: list(adj[v]) for v in adj}
+        cached = (succ, len(succ))
+        _succ_cache[graph] = cached
+    return cached
+
+
+def _unique_min_hop_path(graph: nx.DiGraph, src, dst) -> list | None:
+    """The single minimum-hop ``src -> dst`` path, or ``None`` if the
+    pair has path diversity.
+
+    Justification for the shortcut: :func:`min_hop_then_load` weights
+    every edge ``1.0 + load/scale`` with the load terms of any whole
+    path summing strictly below 1, so an ``h``-hop path always
+    outweighs an ``(h+1)``-hop one — Dijkstra's result is provably a
+    minimum-hop path, and when only one exists the loads cannot change
+    the answer. The cache is per (graph, src, dst); diverse pairs store
+    ``None`` and take the full load-aware search.
+    """
+    per_graph = _single_path_cache.get(graph)
+    if per_graph is None:
+        per_graph = {}
+        _single_path_cache[graph] = per_graph
+    key = (src, dst)
+    try:
+        return per_graph[key]
+    except KeyError:
+        pass
+    first_two = list(islice(nx.all_shortest_paths(graph, src, dst), 2))
+    path = first_two[0] if len(first_two) == 1 else None
+    per_graph[key] = path
+    return path
 
 
 def routing_view(graph: nx.DiGraph, src, dst) -> nx.DiGraph:
@@ -26,33 +105,160 @@ def routing_view(graph: nx.DiGraph, src, dst) -> nx.DiGraph:
     the search graph enforces that structurally.
     """
 
-    def keep(node):
-        return is_switch(node) or node == src or node == dst
+    def keep(node, _src=src, _dst=dst):
+        return is_switch(node) or node == _src or node == _dst
 
     return nx.subgraph_view(graph, filter_node=keep)
+
+
+def topology_routing_view(topology, src_slot: int, dst_slot: int):
+    """A per-(src, dst) :func:`routing_view` cached on the topology.
+
+    Cached on the topology object (like its quadrant views) rather than
+    in a weak-keyed map: subgraph views strongly reference their parent
+    graph, so a WeakKeyDictionary keyed by graph would never collect
+    its entries. The cache dies with the topology and is dropped by
+    ``Topology.__getstate__`` when jobs pickle to worker processes.
+    """
+    from repro.topology.base import term
+
+    cache = topology.__dict__.setdefault("_routing_view_cache", {})
+    key = (src_slot, dst_slot)
+    view = cache.get(key)
+    if view is None:
+        view = routing_view(
+            topology.graph, term(src_slot), term(dst_slot)
+        )
+        cache[key] = view
+    return view
+
+
+def _reconstruct(dist: dict, pred: dict, target) -> list:
+    if target not in dist:
+        raise nx.NetworkXNoPath(f"No path to {target}.")
+    path = [target]
+    while (prev := pred.get(path[-1])) is not None:
+        path.append(prev)
+    path.reverse()
+    return path
+
+
+def _dijkstra_min_hop(
+    succ: dict, source, target, loads_map: dict, scale: float
+) -> list:
+    """Faithful port of ``networkx._dijkstra_multisource`` with the
+    hop-dominant edge weight ``1.0 + load / scale`` inlined.
+
+    Mirrors the original exactly where it matters for bit-identity:
+    ``seen[source] = 0`` (int), the edge cost computed *before* being
+    added to the node distance (same float rounding), a monotonically
+    increasing push counter as the heap tie-break, predecessor
+    overwritten only on strict improvement, and path reconstruction by
+    walking first predecessors from the target.
+    """
+    dist = {}
+    seen = {source: 0}
+    pred = {}
+    loads_get = loads_map.get
+    fringe = [(0, 0, source)]
+    counter = 1
+    while fringe:
+        dist_v, _, v = heappop(fringe)
+        if v in dist:
+            continue  # already searched this node
+        dist[v] = dist_v
+        if v == target:
+            break
+        for u in succ[v]:
+            vu_dist = dist_v + (1.0 + loads_get((v, u), 0.0) / scale)
+            if u in dist:
+                continue
+            if u not in seen or vu_dist < seen[u]:
+                seen[u] = vu_dist
+                heappush(fringe, (vu_dist, counter, u))
+                counter += 1
+                pred[u] = v
+    return _reconstruct(dist, pred, target)
+
+
+def _dijkstra_least_load(
+    succ: dict, source, target, loads_map: dict, eps: float
+) -> list:
+    """As :func:`_dijkstra_min_hop` but with the load-dominant weight
+    ``load + eps`` inlined (split-across-all-paths routing)."""
+    dist = {}
+    seen = {source: 0}
+    pred = {}
+    loads_get = loads_map.get
+    fringe = [(0, 0, source)]
+    counter = 1
+    while fringe:
+        dist_v, _, v = heappop(fringe)
+        if v in dist:
+            continue
+        dist[v] = dist_v
+        if v == target:
+            break
+        for u in succ[v]:
+            vu_dist = dist_v + (loads_get((v, u), 0.0) + eps)
+            if u in dist:
+                continue
+            if u not in seen or vu_dist < seen[u]:
+                seen[u] = vu_dist
+                heappush(fringe, (vu_dist, counter, u))
+                counter += 1
+                pred[u] = v
+    return _reconstruct(dist, pred, target)
+
+
+def quadrant_search_entry(
+    topology, src_slot: int, dst_slot: int
+) -> tuple[list | None, dict | None, int]:
+    """One-lookup search context for hop-dominant quadrant routing.
+
+    Returns ``(unique_path, succ, num_nodes)``: either the pair's single
+    minimum-hop path (``succ`` is ``None``) or the quadrant's adjacency
+    snapshot for the load-aware Dijkstra. Cached on the topology object
+    keyed by slot pair, so the per-commodity hot path of MP/SM routing
+    costs one dict lookup instead of quadrant fetch + weak-cache walks.
+    """
+    cache = topology.__dict__.setdefault("_mp_search_cache", {})
+    key = (src_slot, dst_slot)
+    entry = cache.get(key)
+    if entry is None:
+        from repro.topology.base import term
+
+        graph = topology.quadrant_subgraph(src_slot, dst_slot)
+        unique = _unique_min_hop_path(
+            graph, term(src_slot), term(dst_slot)
+        )
+        if unique is not None:
+            entry = (unique, None, 0)
+        else:
+            succ, num_nodes = _successors(graph)
+            entry = (None, succ, num_nodes)
+        cache[key] = entry
+    return entry
 
 
 def min_hop_then_load(
     graph: nx.DiGraph, src, dst, loads: EdgeLoads, value: float
 ) -> list:
     """Minimum-hop path, breaking ties by least accumulated traffic."""
+    single = _unique_min_hop_path(graph, src, dst)
+    if single is not None:
+        return list(single)
+    succ, num_nodes = _successors(graph)
     # Any single edge load is bounded by the ledger total plus the value
     # currently being routed; scale so a full path's load terms sum < 1.
-    scale = max(1.0, (loads.total + value) * (graph.number_of_nodes() + 1))
-
-    def weight(u, v, _d):
-        return 1.0 + loads.get(u, v) / scale
-
-    return nx.dijkstra_path(graph, src, dst, weight=weight)
+    scale = max(1.0, (loads.total + value) * (num_nodes + 1))
+    return _dijkstra_min_hop(succ, src, dst, loads.edge_map, scale)
 
 
 def load_then_hops(
     graph: nx.DiGraph, src, dst, loads: EdgeLoads, value: float
 ) -> list:
     """Least-loaded path; hops only matter between equally loaded paths."""
+    succ, _ = _successors(graph)
     eps = max(1e-9, (loads.total + value) * 1e-6)
-
-    def weight(u, v, _d):
-        return loads.get(u, v) + eps
-
-    return nx.dijkstra_path(graph, src, dst, weight=weight)
+    return _dijkstra_least_load(succ, src, dst, loads.edge_map, eps)

@@ -20,9 +20,10 @@ from __future__ import annotations
 from repro.routing.base import RoutingFunction
 from repro.routing.loads import EdgeLoads
 from repro.routing.shortest import (
+    _dijkstra_min_hop,
     load_then_hops,
-    min_hop_then_load,
-    routing_view,
+    quadrant_search_entry,
+    topology_routing_view,
 )
 from repro.topology.base import Topology, term
 
@@ -82,11 +83,36 @@ class SplitMinPathRouting(_SplitRoutingBase):
     code = "SM"
     name = "split-traffic-minimum-paths"
 
-    def _search_graph(self, topology, src_slot, dst_slot):
-        return topology.quadrant_subgraph(src_slot, dst_slot)
-
-    def _chunk_path(self, graph, src, dst, loads, value):
-        return min_hop_then_load(graph, src, dst, loads, value)
+    def route_commodity(
+        self,
+        topology: Topology,
+        src_slot: int,
+        dst_slot: int,
+        value: float,
+        loads: EdgeLoads,
+    ) -> list[tuple[list, float]]:
+        # Hop count dominates SM's weight, so a quadrant with a single
+        # minimum-hop path forces every chunk onto it: record each
+        # chunk's traffic separately (the ledger accumulates exactly as
+        # in the per-chunk search) without re-searching.
+        unique, succ, num_nodes = quadrant_search_entry(
+            topology, src_slot, dst_slot
+        )
+        chunk_bw = value / self.chunks
+        if unique is not None:
+            path = list(unique)
+            for _ in range(self.chunks):
+                loads.add_path(path, chunk_bw)
+            return _merge([(path, chunk_bw)] * self.chunks)
+        src, dst = term(src_slot), term(dst_slot)
+        loads_map = loads.edge_map
+        paths = []
+        for _ in range(self.chunks):
+            scale = max(1.0, (loads.total + chunk_bw) * (num_nodes + 1))
+            path = _dijkstra_min_hop(succ, src, dst, loads_map, scale)
+            loads.add_path(path, chunk_bw)
+            paths.append((path, chunk_bw))
+        return _merge(paths)
 
 
 class SplitAllPathRouting(_SplitRoutingBase):
@@ -99,9 +125,7 @@ class SplitAllPathRouting(_SplitRoutingBase):
         super().__init__(chunks)
 
     def _search_graph(self, topology, src_slot, dst_slot):
-        return routing_view(
-            topology.graph, term(src_slot), term(dst_slot)
-        )
+        return topology_routing_view(topology, src_slot, dst_slot)
 
     def _chunk_path(self, graph, src, dst, loads, value):
         return load_then_hops(graph, src, dst, loads, value)

@@ -3,6 +3,11 @@
 Wormhole switching: a packet is a head flit (carrying the destination),
 zero or more body flits, and a tail flit that releases the channels the
 head acquired.
+
+``is_head``/``is_tail`` are plain attributes computed once at flit
+creation (not properties): the simulator kernel tests them on every hop
+of every flit, and attribute loads are measurably cheaper than property
+calls in that loop.
 """
 
 from __future__ import annotations
@@ -43,19 +48,13 @@ class Packet:
 class Flit:
     """One flow-control unit of a packet."""
 
-    __slots__ = ("packet", "index")
+    __slots__ = ("packet", "index", "is_head", "is_tail")
 
     def __init__(self, packet: Packet, index: int):
         self.packet = packet
         self.index = index
-
-    @property
-    def is_head(self) -> bool:
-        return self.index == 0
-
-    @property
-    def is_tail(self) -> bool:
-        return self.index == self.packet.length - 1
+        self.is_head = index == 0
+        self.is_tail = index == packet.length - 1
 
     def __repr__(self) -> str:
         kind = "H" if self.is_head else ("T" if self.is_tail else "B")

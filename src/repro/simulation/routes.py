@@ -69,3 +69,25 @@ class RouteTable:
         if len(options) == 1:
             return options[0]
         return options[rng.randrange(len(options))]
+
+    def switch_candidate_arrays(
+        self, switch_order: list, num_slots: int
+    ) -> list[list[tuple | None]]:
+        """Dense per-switch next-hop arrays for the simulator kernel.
+
+        ``arrays[si][dst]`` holds the candidate next-hop nodes (the same
+        tuple, in the same repr-sorted order, that :meth:`candidates`
+        returns) for the ``si``-th switch of ``switch_order`` toward
+        destination slot ``dst``, or ``None`` when the switch lies on no
+        route to that slot. The kernel indexes these arrays with
+        integers instead of hashing ``(node, term(dst))`` tuples per
+        head flit.
+        """
+        arrays: list[list[tuple | None]] = []
+        table = self._table
+        for sw in switch_order:
+            row: list[tuple | None] = [None] * num_slots
+            for dst in self.slots:
+                row[dst] = table.get((sw, term(dst)))
+            arrays.append(row)
+        return arrays

@@ -88,10 +88,10 @@ def run_measurement(
     network = Network(topology, config=config, active_slots=active_slots)
     network.run(warmup, traffic)
     start = network.cycle
-    loads_before = dict(network.switch_flits)
+    loads_before = network.switch_flit_counts()
     network.run(measure, traffic)
     end = network.cycle
-    loads_after = dict(network.switch_flits)
+    loads_after = network.switch_flit_counts()
     network.run(drain, traffic)
 
     created = [p for p in network.packets if start <= p.created < end]
@@ -100,8 +100,10 @@ def run_measurement(
     ejected_rate = network.ejected_flits / max(1, network.cycle)
     switch_loads = tuple(
         sorted(
-            (switch_label(sw), loads_after[sw] - loads_before[sw])
-            for sw in loads_after
+            zip(
+                network.switch_labels,
+                (a - b for a, b in zip(loads_after, loads_before)),
+            )
         )
     )
     return SimReport(

@@ -51,16 +51,23 @@ class SyntheticTraffic:
         self.rng = Random(seed)
 
     def __call__(self, network) -> None:
+        # Runs once per simulated cycle: bind the RNG draw and pattern
+        # locally (the draw sequence is unchanged — one uniform draw per
+        # node, pattern draws only on injection hits).
         slots = network.active_slots
         n = len(slots)
         p = self.injection_rate / network.config.packet_length_flits
+        rng = self.rng
+        rand = rng.random
+        pattern = self.pattern
+        create_packet = network.create_packet
         for idx in range(n):
-            if self.rng.random() >= p:
+            if rand() >= p:
                 continue
-            dst = self.pattern(idx, n, self.rng)
+            dst = pattern(idx, n, rng)
             if dst == idx:
                 continue  # pattern fixed point: nothing to send
-            network.create_packet(slots[idx], slots[dst])
+            create_packet(slots[idx], slots[dst])
 
 
 class TraceTraffic:
@@ -95,9 +102,11 @@ class TraceTraffic:
 
     def __call__(self, network) -> None:
         plen = network.config.packet_length_flits
+        rand = self.rng.random
+        create_packet = network.create_packet
         for src_slot, dst_slot, rate in self.flows:
-            if self.rng.random() < rate / plen:
-                network.create_packet(src_slot, dst_slot)
+            if rand() < rate / plen:
+                create_packet(src_slot, dst_slot)
 
 
 def build_traffic(

@@ -42,9 +42,20 @@ CORE_LINK_LENGTH = 0.5
 MAX_DIVERSITY = 64
 
 
+_TERM_CACHE: dict[int, tuple[str, int]] = {}
+
+
 def term(i: int) -> tuple[str, int]:
-    """Graph node id for terminal slot ``i``."""
-    return (TERM, i)
+    """Graph node id for terminal slot ``i``.
+
+    Memoized so the hot routing loops always see the *same* tuple
+    object per slot — tuple allocation disappears and dict lookups hit
+    the cached string hash.
+    """
+    node = _TERM_CACHE.get(i)
+    if node is None:
+        node = _TERM_CACHE[i] = (TERM, i)
+    return node
 
 
 def switch(key) -> tuple[str, object]:
@@ -96,6 +107,38 @@ class Topology(ABC):
         self.name = name
         self._graph: nx.DiGraph | None = None
         self._dist_cache: dict | None = None
+        # Structure caches: the graph is built once and never mutated
+        # afterwards, so edge lists, port counts, quadrant views and the
+        # direct-topology resource summary are all computed lazily and
+        # reused (they sit on the mapping search's per-evaluation path).
+        self._net_edges_cache: list | None = None
+        self._core_edges_cache: list | None = None
+        self._switch_ports_cache: dict | None = None
+        self._quadrant_cache: dict = {}
+        self._direct_resource_cache: tuple | None = None
+        self._switches_cache: list | None = None
+        self._switch_of_cache: dict | None = None
+
+    def __getstate__(self) -> dict:
+        """Drop derived caches when pickling (engine jobs ship
+        topologies to worker processes): subgraph views hold closures
+        that cannot pickle, and every cache rebuilds deterministically
+        on the other side."""
+        state = self.__dict__.copy()
+        state["_net_edges_cache"] = None
+        state["_core_edges_cache"] = None
+        state["_switch_ports_cache"] = None
+        state["_quadrant_cache"] = {}
+        state["_direct_resource_cache"] = None
+        state["_switches_cache"] = None
+        state["_switch_of_cache"] = None
+        # Caches attached by the simulator / estimator / routing layers.
+        state.pop("_sim_layout_cache", None)
+        state.pop("_phys_tables_cache", None)
+        state.pop("_static_power_cache", None)
+        state.pop("_mp_search_cache", None)
+        state.pop("_routing_view_cache", None)
+        return state
 
     # ------------------------------------------------------------------
     # structure
@@ -127,33 +170,56 @@ class Topology(ABC):
 
     @property
     def switches(self) -> list:
-        return [n for n in self.graph.nodes if is_switch(n)]
+        if self._switches_cache is None:
+            self._switches_cache = [
+                n for n in self.graph.nodes if is_switch(n)
+            ]
+        return self._switches_cache
 
     def net_edges(self) -> list:
-        """All switch-to-switch directed edges."""
-        return [
-            (u, v)
-            for u, v, d in self.graph.edges(data=True)
-            if d["kind"] == "net"
-        ]
+        """All switch-to-switch directed edges (cached; do not mutate)."""
+        if self._net_edges_cache is None:
+            self._net_edges_cache = [
+                (u, v)
+                for u, v, d in self.graph.edges(data=True)
+                if d["kind"] == "net"
+            ]
+        return self._net_edges_cache
 
     def core_edges(self) -> list:
-        """All terminal<->switch directed edges."""
-        return [
-            (u, v)
-            for u, v, d in self.graph.edges(data=True)
-            if d["kind"] == "core"
-        ]
+        """All terminal<->switch directed edges (cached; do not mutate)."""
+        if self._core_edges_cache is None:
+            self._core_edges_cache = [
+                (u, v)
+                for u, v, d in self.graph.edges(data=True)
+                if d["kind"] == "core"
+            ]
+        return self._core_edges_cache
 
     def switch_ports(self, sw) -> tuple[int, int]:
         """(input ports, output ports) of a switch, core ports included."""
-        g = self.graph
-        return (g.in_degree(sw), g.out_degree(sw))
+        cache = self._switch_ports_cache
+        if cache is None:
+            g = self.graph
+            cache = self._switch_ports_cache = {
+                node: (g.in_degree(node), g.out_degree(node))
+                for node in g.nodes
+                if is_switch(node)
+            }
+        return cache[sw]
 
     def switch_of(self, slot: int):
         """The switch a terminal injects into (first hop)."""
+        cache = self._switch_of_cache
+        if cache is None:
+            cache = self._switch_of_cache = {}
+        try:
+            return cache[slot]
+        except KeyError:
+            pass
         for _, v in self.graph.out_edges(term(slot)):
             if is_switch(v):
+                cache[slot] = v
                 return v
         raise TopologyError(f"terminal {slot} has no attached switch")
 
@@ -217,12 +283,23 @@ class Topology(ABC):
         return None
 
     def quadrant_subgraph(self, src_slot: int, dst_slot: int) -> nx.DiGraph:
-        """The quadrant graph as a subgraph view (whole graph if trivial)."""
-        nodes = self.quadrant_nodes(src_slot, dst_slot)
-        if nodes is None:
-            return self.graph
-        nodes = set(nodes) | {term(src_slot), term(dst_slot)}
-        return self.graph.subgraph(nodes)
+        """The quadrant graph as a subgraph view (whole graph if trivial).
+
+        Views are cached per (src, dst): the quadrant depends only on
+        the slot pair, never on the mapping, and the swap search asks
+        for the same pairs thousands of times per evaluation round.
+        """
+        key = (src_slot, dst_slot)
+        view = self._quadrant_cache.get(key)
+        if view is None:
+            nodes = self.quadrant_nodes(src_slot, dst_slot)
+            if nodes is None:
+                view = self.graph
+            else:
+                nodes = set(nodes) | {term(src_slot), term(dst_slot)}
+                view = self.graph.subgraph(nodes)
+            self._quadrant_cache[key] = view
+        return view
 
     def dor_path(self, src_slot: int, dst_slot: int) -> list:
         """Dimension-ordered route between two slots, as a node list.
@@ -262,15 +339,30 @@ class Topology(ABC):
         mapped = set(mapped_slots)
 
         if self.kind == "direct":
-            used_switches = set(self.switches)
-            seen = set()
-            net_links = 0
-            for u, v in self.net_edges():
-                if (v, u) in seen:
-                    continue
-                seen.add((u, v))
-                net_links += 1
-            core_links = len(mapped)
+            # Everything except the core-link count is mapping-
+            # independent for direct topologies; compute it once.
+            if self._direct_resource_cache is None:
+                used_switches = set(self.switches)
+                seen = set()
+                net_links = 0
+                for u, v in self.net_edges():
+                    if (v, u) in seen:
+                        continue
+                    seen.add((u, v))
+                    net_links += 1
+                ports = {
+                    sw: self.switch_ports(sw)
+                    for sw in sorted(used_switches)
+                }
+                self._direct_resource_cache = (
+                    len(used_switches), net_links, ports
+                )
+            num_switches, net_links, ports = self._direct_resource_cache
+            return ResourceSummary(
+                num_switches=num_switches,
+                num_links=net_links + len(mapped),
+                switch_ports=ports,
+            )
         else:
             if routes:
                 used_switches = {

@@ -64,12 +64,12 @@ class TestTopologyCoverage:
         seen_middles = set()
         original = net._schedule_arrival
 
-        def spy(when, key, flit):
-            edge, _vc = key
+        def spy(when, ch, flit):
+            edge, _vc = net.chan_key[ch]
             dst = edge[1]
             if is_switch(dst) and dst[1][0] == "mid":
                 seen_middles.add(dst)
-            original(when, key, flit)
+            original(when, ch, flit)
 
         net._schedule_arrival = spy
         net.run(1500, SyntheticTraffic("uniform", 0.2, seed=5))

@@ -1,0 +1,163 @@
+"""Golden regression tests pinning simulator kernel bit-identity.
+
+The integer-indexed kernel rewrite promised *bit-identical* behaviour:
+same per-packet latencies, same delivered fractions, same per-switch
+load histograms. These goldens pin full :class:`SimReport` statistics
+for the four paper topologies under application-trace and uniform
+synthetic traffic, so any kernel change that shifts a single flit fails
+loudly here.
+
+Regenerate deliberately with::
+
+    PYTHONPATH=src python -m pytest tests/simulation/test_golden_simulation.py \
+        --update-goldens
+
+and review the diff of ``tests/golden/simulation.json`` like any other
+code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.apps import vopd
+from repro.core.greedy import initial_greedy_mapping
+from repro.simulation.network import Network, SimConfig
+from repro.simulation.stats import run_measurement
+from repro.simulation.traffic import SyntheticTraffic, build_traffic
+from repro.topology.library import make_topology
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "simulation.json"
+
+#: The pinned grid: the four paper topologies under the application
+#: trace (vopd, greedily mapped) and uniform synthetic traffic.
+GRID = [
+    ("mesh", 12, "app"),
+    ("mesh", 12, "uniform"),
+    ("torus", 12, "app"),
+    ("torus", 12, "uniform"),
+    ("butterfly", 16, "app"),
+    ("butterfly", 16, "uniform"),
+    ("clos", 12, "app"),
+    ("clos", 12, "uniform"),
+]
+
+RATE = 0.12
+SEED = 3
+
+
+def _measure(topo_name: str, cores: int, pattern: str) -> dict:
+    topology = make_topology(topo_name, cores)
+    if pattern == "app":
+        app = vopd()
+        assignment = initial_greedy_mapping(app, topology)
+        slots = sorted(assignment.values())
+    else:
+        app = None
+        assignment = None
+        slots = None
+    traffic = build_traffic(
+        pattern, RATE, seed=SEED, core_graph=app, assignment=assignment
+    )
+    report = run_measurement(
+        topology,
+        traffic,
+        config=SimConfig(seed=5),
+        warmup=400,
+        measure=1600,
+        drain=1200,
+        active_slots=slots,
+        offered_rate=RATE,
+    )
+    return {
+        "cycles": report.cycles,
+        "measured_packets": report.measured_packets,
+        "delivered_fraction": report.delivered_fraction,
+        "avg_latency": report.avg_latency,
+        "p95_latency": report.p95_latency,
+        "min_latency": report.min_latency,
+        "throughput_flits_per_cycle": report.throughput_flits_per_cycle,
+        "switch_loads": [list(pair) for pair in report.switch_loads],
+    }
+
+
+@pytest.fixture(scope="module")
+def goldens() -> dict:
+    if not GOLDEN_PATH.exists():
+        return {}
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize(
+    ("topo_name", "cores", "pattern"),
+    GRID,
+    ids=[f"{t}-{p}" for t, _, p in GRID],
+)
+def test_simulation_matches_golden(
+    request, goldens, topo_name, cores, pattern
+):
+    key = f"{topo_name}/{pattern}"
+    outcome = _measure(topo_name, cores, pattern)
+    if request.config.getoption("--update-goldens"):
+        stored = (
+            json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+            if GOLDEN_PATH.exists()
+            else {}
+        )
+        stored[key] = outcome
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(stored, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return
+    assert key in goldens, (
+        f"no golden for {key}; run pytest with --update-goldens and "
+        f"commit {GOLDEN_PATH}"
+    )
+    # Exact equality, floats included: the kernel must be bit-identical,
+    # not merely statistically similar (JSON round-trips floats exactly).
+    assert outcome == goldens[key], (
+        f"simulation outcome for {key} drifted from the committed golden "
+        f"(a kernel change moved at least one flit; rerun with "
+        f"--update-goldens only if the change is intended)"
+    )
+
+
+class TestAdvanceIdentity:
+    """``run(n)`` (the fused loop) and n × ``step()`` must agree."""
+
+    def _signature(self, net):
+        return [
+            (p.pid, p.src, p.dst, p.created, p.ejected) for p in net.packets
+        ]
+
+    def test_run_equals_repeated_step(self):
+        def drive(stepwise: bool):
+            topology = make_topology("mesh", 9)
+            net = Network(topology, SimConfig(seed=3))
+            traffic = SyntheticTraffic("uniform", 0.2, seed=4)
+            if stepwise:
+                for _ in range(500):
+                    net.step(traffic)
+            else:
+                net.run(500, traffic)
+            net.drain()
+            return self._signature(net)
+
+        assert drive(True) == drive(False)
+
+    def test_interleaved_run_segments_match_single_run(self):
+        def drive(segments):
+            topology = make_topology("torus", 9)
+            net = Network(topology, SimConfig(seed=6))
+            traffic = SyntheticTraffic("transpose", 0.25, seed=7)
+            for cycles in segments:
+                net.run(cycles, traffic)
+            net.drain()
+            return self._signature(net)
+
+        assert drive([700]) == drive([1, 299, 150, 250])

@@ -13,11 +13,11 @@ class TestVirtualChannels:
         vc1_arrivals = []
         original = net._schedule_arrival
 
-        def spy(when, key, flit):
-            edge, vc = key
+        def spy(when, ch, flit):
+            edge, vc = net.chan_key[ch]
             if edge in net._wrap_edges:
                 vc1_arrivals.append(vc)
-            original(when, key, flit)
+            original(when, ch, flit)
 
         net._schedule_arrival = spy
         net.run(1200, SyntheticTraffic("bit_reverse", 0.2, seed=2))
