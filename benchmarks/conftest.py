@@ -17,6 +17,21 @@ from repro.core.mapper import MapperConfig
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="reduced experiment budgets (CI smoke runs)",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke(request):
+    """True when the run should use reduced budgets (--smoke)."""
+    return request.config.getoption("--smoke")
+
 #: Search configuration used by all experiment benches (the converging
 #: swap search; the paper-faithful single pass is measured separately in
 #: bench_ablation_swap).

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 from repro.core.constraints import Constraints
 from repro.core.coregraph import CoreGraph
-from repro.core.evaluate import MappingEvaluation, evaluate_mapping
+from repro.core.evaluate import MappingEvaluation
 from repro.core.greedy import initial_greedy_mapping
 from repro.core.mapper import _resolve, _score
 from repro.core.memo import MemoizedMappingEvaluator
@@ -60,6 +60,9 @@ class AnnealingConfig:
     cooling: float = 0.997
     seed: int = 0
     floorplan_each_step: bool = False
+    #: Route each move as a delta against the current state through the
+    #: incremental engine (bit-identical; off = from-scratch A/B path).
+    incremental: bool = True
 
     def __post_init__(self):
         if self.iterations < 1:
@@ -68,29 +71,38 @@ class AnnealingConfig:
             raise ValueError("cooling must be in (0.5, 1)")
 
 
-def _random_swap(assignment: dict, num_slots: int, rng: random.Random) -> dict:
-    """Swap two slots (possibly moving a core into a free slot).
+def _random_swap_slots(
+    assignment: dict, num_slots: int, rng: random.Random
+) -> tuple[int, int]:
+    """Pick the slot pair of a random swap move.
 
     The target slot is resampled until it differs from the source slot,
     so every call (on a topology with at least two slots) proposes a
     real move — the previous early-return on ``s1 == s2`` silently
     wasted an annealing iteration *and* skipped its cooling step.
+    Returns ``(s1, s1)`` only in the degenerate single-slot case. The
+    RNG draw sequence matches the historical dict-building helper, so
+    seeded trajectories are unchanged.
     """
     cores = list(assignment)
-    slot_to_core = {s: c for c, s in assignment.items()}
-    candidate = dict(assignment)
     c1 = rng.choice(cores)
     s1 = assignment[c1]
     if num_slots < 2:
-        return candidate  # nowhere to move: degenerate single-slot case
+        return s1, s1  # nowhere to move: degenerate single-slot case
     s2 = rng.randrange(num_slots)
     while s2 == s1:
         s2 = rng.randrange(num_slots)
-    c2 = slot_to_core.get(s2)
-    candidate[c1] = s2
-    if c2 is not None:
-        candidate[c2] = s1
-    return candidate
+    return s1, s2
+
+
+def _random_swap(assignment: dict, num_slots: int, rng: random.Random) -> dict:
+    """Swap two slots (possibly moving a core into a free slot)."""
+    from repro.routing.incremental import swap_assignment
+
+    s1, s2 = _random_swap_slots(assignment, num_slots, rng)
+    if s1 == s2:
+        return dict(assignment)
+    return swap_assignment(assignment, s1, s2)
 
 
 def simulated_annealing_map(
@@ -131,6 +143,23 @@ def simulated_annealing_map(
         ev = memo.evaluate(assignment, with_floorplan=with_floorplan)
         return _score(ev, objective)
 
+    def run_swap(base, s1, s2):
+        # Delta evaluation against the current state: the previous
+        # move's record is the engine's most recent, so accepted walks
+        # stay incremental end to end.
+        if config.incremental:
+            ev = memo.evaluate_swap(
+                base.assignment, s1, s2, with_floorplan=with_floorplan
+            )
+        else:
+            from repro.routing.incremental import swap_assignment
+
+            ev = memo.evaluate(
+                swap_assignment(base.assignment, s1, s2),
+                with_floorplan=with_floorplan,
+            )
+        return _score(ev, objective)
+
     if initial_assignment is None:
         initial_assignment = initial_greedy_mapping(core_graph, topology)
     current = run(dict(initial_assignment))
@@ -146,10 +175,13 @@ def simulated_annealing_map(
         # giving roughly 40-60% initial acceptance of uphill moves.
         deltas = []
         for _ in range(15):
-            probe = _random_swap(current.assignment, topology.num_slots, rng)
-            if probe == current.assignment:
+            s1, s2 = _random_swap_slots(
+                current.assignment, topology.num_slots, rng
+            )
+            if s1 == s2:
                 continue
-            deltas.append(abs(_scalar(run(probe)) - current_scalar))
+            probe = run_swap(current, s1, s2)
+            deltas.append(abs(_scalar(probe) - current_scalar))
         meaningful = [d for d in deltas if 0 < d < _INFEASIBLE_OFFSET / 2]
         temperature = max(1e-6, sum(meaningful) / len(meaningful)) if (
             meaningful
@@ -159,12 +191,12 @@ def simulated_annealing_map(
     # _scalar(best) are invariant between moves, so recomputing them
     # every iteration (the old behaviour) did redundant work per step.
     for _ in range(config.iterations):
-        candidate_assignment = _random_swap(
+        s1, s2 = _random_swap_slots(
             current.assignment, topology.num_slots, rng
         )
-        if candidate_assignment == current.assignment:
+        if s1 == s2:
             continue  # degenerate single-slot topology: no real move
-        candidate = run(candidate_assignment)
+        candidate = run_swap(current, s1, s2)
         candidate_scalar = _scalar(candidate)
         delta = candidate_scalar - current_scalar
         if delta <= 0 or rng.random() < math.exp(-delta / temperature):
@@ -188,24 +220,33 @@ def random_search_map(
     estimator: NetworkEstimator | None = None,
     iterations: int = 1500,
     seed: int = 0,
+    cache: EvaluationCache | None = None,
 ) -> MappingEvaluation:
-    """Uniform random assignments — the unstructured baseline."""
+    """Uniform random assignments — the unstructured baseline.
+
+    Args:
+        cache: optional shared :class:`~repro.engine.cache.
+            EvaluationCache`, like the other optimizers; ``None`` uses a
+            private per-run cache. Either way duplicate random samples
+            (likely on small topologies) are never routed twice.
+    """
     routing, objective = _resolve(routing, objective)
     constraints = constraints or Constraints()
     estimator = estimator or NetworkEstimator()
     rng = random.Random(seed)
     slots = list(range(topology.num_slots))
     n = core_graph.num_cores
+    memo = MemoizedMappingEvaluator(
+        core_graph, topology, routing, constraints, estimator,
+        cache=cache, objective=objective,
+    )
 
     best: MappingEvaluation | None = None
     best_scalar = math.inf
     for _ in range(iterations):
         chosen = rng.sample(slots, n)
         assignment = {core: slot for core, slot in zip(range(n), chosen)}
-        ev = evaluate_mapping(
-            core_graph, topology, assignment, routing, constraints,
-            estimator=estimator, with_floorplan=False,
-        )
+        ev = memo.evaluate(assignment, with_floorplan=False)
         _score(ev, objective)
         scalar = _scalar(ev)
         if best is None or scalar < best_scalar:
@@ -219,8 +260,5 @@ def random_search_map(
             f"onto {topology.name!r} (iterations={iterations}); use "
             f"iterations >= 1"
         )
-    final = evaluate_mapping(
-        core_graph, topology, best.assignment, routing, constraints,
-        estimator=estimator, with_floorplan=True,
-    )
+    final = memo.evaluate(best.assignment, with_floorplan=True)
     return _score(final, objective)

@@ -102,6 +102,113 @@ class NetworkEstimator:
             return lengths_mm[(u, v)]
         return topology.graph.edges[u, v]["length"] * pitch_mm
 
+    def dynamic_power_terms(
+        self,
+        topology: Topology,
+        routed,
+        lengths_mm: dict | None = None,
+        pitch_mm: float = 2.0,
+        switch_dynamic: float = 0.0,
+        link_dynamic: float = 0.0,
+    ) -> tuple[float, float]:
+        """Accumulate switch/link dynamic power over routed commodities.
+
+        Walks every path of ``routed`` (an iterable of
+        :class:`~repro.routing.base.RoutedCommodity`), charging switch
+        and wire energy per bit (Section 5: "power dissipation for the
+        switches and links are calculated based on the average
+        traffic"). The wire term inlines link_dynamic_power_mw with the
+        identical operation order (bit-identical floats).
+
+        ``switch_dynamic``/``link_dynamic`` seed the accumulators: the
+        incremental engine resumes from a per-commodity partial sum and
+        adds only the re-routed suffix, producing the same float result
+        as a full walk because the additions happen in the same order.
+
+        Accumulation is two-level — each commodity's terms fold into a
+        per-commodity subtotal (starting at 0.0) which is then added to
+        the running total. A commodity's contribution is therefore one
+        float that depends only on its own paths, which is what lets
+        the incremental engine splice cached contributions with a
+        single addition per commodity.
+        """
+        entries, nominal = self._physical_tables(topology)
+        link_energy = self.tech.link_energy_pj_per_bit_mm
+        for rc in routed:
+            rc_switch = 0.0
+            rc_link = 0.0
+            for path, bw in rc.paths:
+                bits_per_s = bw * BITS_PER_MB
+                for node in path:
+                    if node[0] == SW:
+                        rc_switch += (
+                            bits_per_s
+                            * entries[node].energy_pj_per_bit
+                            * 1e-9
+                        )
+                for edge in zip(path, path[1:]):
+                    if lengths_mm is not None and edge in lengths_mm:
+                        length = lengths_mm[edge]
+                    else:
+                        length = nominal[edge] * pitch_mm
+                    rc_link += (
+                        bits_per_s * (link_energy * length) * 1e-12 * 1e3
+                    )
+            switch_dynamic += rc_switch
+            link_dynamic += rc_link
+        return switch_dynamic, link_dynamic
+
+    def static_power_terms(
+        self,
+        topology: Topology,
+        result: RoutingResult,
+        lengths_mm: dict | None = None,
+        pitch_mm: float = 2.0,
+    ) -> tuple[float, float]:
+        """(clock, leakage) mW over instantiated switches and channels.
+
+        Every instantiated switch clocks and leaks, and instantiated
+        channels leak through their repeaters. For direct topologies
+        with nominal lengths this is mapping-independent (every switch
+        hosts a slot), so the two loops' results are cached per
+        (estimator type, tech, pitch) on the topology — computed once by
+        the exact legacy accumulation order.
+        """
+        tech = self.tech
+        static_cache = None
+        static_key = None
+        if topology.kind == "direct" and lengths_mm is None:
+            static_cache = topology.__dict__.setdefault(
+                "_static_power_cache", {}
+            )
+            static_key = (type(self).__name__, tech, pitch_mm)
+            cached = static_cache.get(static_key)
+            if cached is not None:
+                return cached
+        entries, nominal = self._physical_tables(topology)
+        used = self.used_switches(topology, result)
+        clock = 0.0
+        leakage = 0.0
+        for sw in used:
+            entry = entries[sw]
+            clock += (
+                tech.clock_power_mw_per_port
+                * (entry.config.n_in + entry.config.n_out)
+                / 2.0
+            )
+            leakage += tech.leakage_mw_per_mm2 * entry.area_mm2
+        # Link repeater leakage over instantiated channels.
+        for u, v in topology.net_edges():
+            if u in used and v in used:
+                if lengths_mm is not None and (u, v) in lengths_mm:
+                    length = lengths_mm[(u, v)]
+                else:
+                    length = nominal[(u, v)] * pitch_mm
+                leakage += link_leakage_power_mw(length, tech)
+        if static_cache is not None:
+            static_cache[static_key] = (clock, leakage)
+        return clock, leakage
+
     def network_power_mw(
         self,
         topology: Topology,
@@ -117,73 +224,14 @@ class NetworkEstimator:
                 not in ``lengths_mm``.
         """
         breakdown = PowerBreakdown()
-        entries, nominal = self._physical_tables(topology)
-        tech = self.tech
-        link_energy = tech.link_energy_pj_per_bit_mm
-        # Dynamic power: walk every routed path, charging switch and wire
-        # energy per bit (Section 5: "power dissipation for the switches
-        # and links are calculated based on the average traffic"). The
-        # wire term inlines link_dynamic_power_mw with the identical
-        # operation order (bit-identical floats).
-        switch_dynamic = 0.0
-        link_dynamic = 0.0
-        for rc in result.routed:
-            for path, bw in rc.paths:
-                bits_per_s = bw * BITS_PER_MB
-                for node in path:
-                    if node[0] == SW:
-                        switch_dynamic += (
-                            bits_per_s
-                            * entries[node].energy_pj_per_bit
-                            * 1e-9
-                        )
-                for edge in zip(path, path[1:]):
-                    if lengths_mm is not None and edge in lengths_mm:
-                        length = lengths_mm[edge]
-                    else:
-                        length = nominal[edge] * pitch_mm
-                    link_dynamic += (
-                        bits_per_s * (link_energy * length) * 1e-12 * 1e3
-                    )
-        breakdown.switch_dynamic = switch_dynamic
-        breakdown.link_dynamic = link_dynamic
-
-        # Static power: every instantiated switch clocks and leaks, and
-        # instantiated channels leak through their repeaters. For direct
-        # topologies with nominal lengths this is mapping-independent
-        # (every switch hosts a slot), so the two loops' results are
-        # cached per (estimator type, tech, pitch) on the topology —
-        # computed once by the exact legacy accumulation order.
-        static_cache = None
-        static_key = None
-        if topology.kind == "direct" and lengths_mm is None:
-            static_cache = topology.__dict__.setdefault(
-                "_static_power_cache", {}
+        breakdown.switch_dynamic, breakdown.link_dynamic = (
+            self.dynamic_power_terms(
+                topology, result.routed, lengths_mm, pitch_mm
             )
-            static_key = (type(self).__name__, tech, pitch_mm)
-            cached = static_cache.get(static_key)
-            if cached is not None:
-                breakdown.clock, breakdown.leakage = cached
-                return breakdown
-        used = self.used_switches(topology, result)
-        for sw in used:
-            entry = entries[sw]
-            breakdown.clock += (
-                tech.clock_power_mw_per_port
-                * (entry.config.n_in + entry.config.n_out)
-                / 2.0
-            )
-            breakdown.leakage += tech.leakage_mw_per_mm2 * entry.area_mm2
-        # Link repeater leakage over instantiated channels.
-        for u, v in topology.net_edges():
-            if u in used and v in used:
-                if lengths_mm is not None and (u, v) in lengths_mm:
-                    length = lengths_mm[(u, v)]
-                else:
-                    length = nominal[(u, v)] * pitch_mm
-                breakdown.leakage += link_leakage_power_mw(length, tech)
-        if static_cache is not None:
-            static_cache[static_key] = (breakdown.clock, breakdown.leakage)
+        )
+        breakdown.clock, breakdown.leakage = self.static_power_terms(
+            topology, result, lengths_mm, pitch_mm
+        )
         return breakdown
 
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.core.coregraph import Commodity
 from repro.routing.loads import EdgeLoads
@@ -38,9 +39,15 @@ class RoutedCommodity:
     dst_slot: int
     paths: list[tuple[list, float]] = field(default_factory=list)
 
-    @property
+    @cached_property
     def hops(self) -> float:
-        """Bandwidth-weighted switch count over this commodity's paths."""
+        """Bandwidth-weighted switch count over this commodity's paths.
+
+        Cached: ``weighted_average_hops``, QoS checks and report stats
+        all re-read it per evaluation, and the incremental engine splices
+        the same :class:`RoutedCommodity` objects into many candidate
+        evaluations. ``paths`` is treated as immutable once routed.
+        """
         if self.commodity.value <= 0:
             return 0.0
         total = 0
@@ -57,6 +64,24 @@ class RoutedCommodity:
         return abs(routed - self.commodity.value) <= tol * max(
             1.0, self.commodity.value
         )
+
+
+def ledger_load_bound(
+    topology: Topology, commodities: list[Commodity]
+) -> float:
+    """Upper bound on any single edge load over a whole routing run.
+
+    Every edge's load is part of the final ledger total, which is at
+    most the summed commodity bandwidth times the longest loop-free path
+    (fewer edges than topology graph nodes). The bound is a pure
+    function of (application, topology) — identical for every mapping
+    of the same pair — which is what lets ``hop_scale`` stay constant
+    across evaluations (see :mod:`repro.routing.shortest`).
+    """
+    total = 0.0
+    for c in commodities:
+        total += c.value
+    return total * topology.graph.number_of_nodes()
 
 
 @dataclass
@@ -114,6 +139,36 @@ class RoutingFunction(ABC):
         routing sees its own earlier chunks.
         """
 
+    def load_independent(
+        self, topology: Topology, src_slot: int, dst_slot: int
+    ) -> bool:
+        """Whether this function's routing decision for the slot pair is
+        the same under *every* possible load ledger.
+
+        The incremental engine (:mod:`repro.routing.incremental`) uses
+        this to replay a clean commodity's recorded ledger additions
+        instead of re-searching: a ``True`` answer is a proof obligation
+        that :meth:`route_commodity` would return the identical paths
+        regardless of accumulated traffic (e.g. dimension-ordered
+        routes, or a quadrant with a single minimum-hop path under
+        hop-dominant weights). Defaults to ``False`` (always re-route).
+        """
+        return False
+
+    def search_edges(
+        self, topology: Topology, src_slot: int, dst_slot: int
+    ) -> frozenset | None:
+        """Directed edges whose loads can influence this pair's routing.
+
+        The incremental engine skips re-searching a clean load-dependent
+        commodity when none of these edges diverged from its base
+        evaluation (with the application-constant ``hop_scale``, equal
+        inputs mean a bit-identical search). ``None`` — the default —
+        means "potentially every edge": the commodity is always
+        re-routed when anything diverged.
+        """
+        return None
+
     def route_all(
         self,
         topology: Topology,
@@ -129,6 +184,7 @@ class RoutingFunction(ABC):
                 step 2).
         """
         loads = EdgeLoads()
+        loads.load_bound = ledger_load_bound(topology, commodities)
         routed = []
         for c in commodities:
             src = slot_of[c.src]

@@ -14,6 +14,15 @@ class EdgeLoads:
     def __init__(self):
         self._loads: dict[tuple, float] = {}
         self._total = 0.0
+        #: Optional precomputed upper bound on any single edge load over
+        #: the whole routing run (set by ``route_all`` from the commodity
+        #: list). When present, the hop-dominant Dijkstra scale is
+        #: derived from it instead of the running ledger total, making
+        #: the scale identical for every evaluation of the same
+        #: application — the property the incremental engine's
+        #: skip-unchanged-search proof rests on. ``None`` keeps the
+        #: legacy running-total formula.
+        self.load_bound: float | None = None
 
     def add(self, u, v, value: float) -> None:
         """Add ``value`` MB/s of traffic to edge ``u -> v``."""
@@ -63,10 +72,120 @@ class EdgeLoads:
         clone = EdgeLoads()
         clone._loads = dict(self._loads)
         clone._total = self._total
+        clone.load_bound = self.load_bound
         return clone
+
+    def snapshot(self) -> tuple[dict, float]:
+        """Checkpoint of the ledger: ``(edge-map copy, total)``.
+
+        One dict copy; the incremental engine stores these at sparse
+        positions along the commodity sequence and rolls forward from
+        the nearest one instead of journaling every addition (per-edge
+        undo journals measurably taxed the routing hot path).
+        """
+        return dict(self._loads), self._total
 
     def __len__(self) -> int:
         return len(self._loads)
 
     def __repr__(self) -> str:
         return f"EdgeLoads(edges={len(self._loads)}, max={self.max_load():.1f})"
+
+
+class RecordingEdgeLoads(EdgeLoads):
+    """An :class:`EdgeLoads` that logs every addition per segment.
+
+    The incremental mapping engine (:mod:`repro.routing.incremental`)
+    routes through this ledger, marking one *segment* per commodity
+    (:meth:`begin_segment`). A segment is the flat ``(edge, value)``
+    sequence of ledger additions the routing function performed, in
+    application order.
+
+    A logged segment is an exact redo: :meth:`replay_segment` re-applies
+    the additions against any ledger state with the identical float
+    operations (same values added to the same edges in the same order),
+    which is how the engine both restores checkpoints (roll forward from
+    a sparse :meth:`~EdgeLoads.snapshot`) and splices commodities whose
+    routing decision is provably unchanged, without re-searching.
+    """
+
+    def __init__(self):
+        super().__init__()
+        #: Per-commodity addition logs, in routing order.
+        self.segments: list[list[tuple[tuple, float]]] = []
+        self._ops: list[tuple[tuple, float]] | None = None
+
+    @classmethod
+    def resumed(
+        cls,
+        snapshot: tuple[dict, float],
+        segments: list[list[tuple[tuple, float]]],
+        load_bound: float | None,
+    ) -> "RecordingEdgeLoads":
+        """A recording ledger starting from a checkpoint.
+
+        ``snapshot`` is an :meth:`EdgeLoads.snapshot` (copied here, the
+        stored checkpoint stays pristine); ``segments`` are the logs of
+        the commodities *before* the checkpoint — aliased, not copied,
+        since segments are immutable once recorded.
+        """
+        ledger, total = snapshot
+        fork = cls()
+        fork._loads = dict(ledger)
+        fork._total = total
+        fork.segments = list(segments)
+        fork.load_bound = load_bound
+        return fork
+
+    def begin_segment(self) -> None:
+        """Open a new log segment (one per routed commodity)."""
+        self._ops = []
+        self.segments.append(self._ops)
+
+    def add(self, u, v, value: float) -> None:
+        edge = (u, v)
+        self._ops.append((edge, value))
+        self._loads[edge] = self._loads.get(edge, 0.0) + value
+        self._total += value
+
+    def add_path(self, path: list, value: float) -> None:
+        loads = self._loads
+        ops = self._ops
+        total = self._total
+        for edge in zip(path, path[1:]):
+            ops.append((edge, value))
+            loads[edge] = loads.get(edge, 0.0) + value
+            total += value
+        self._total = total
+
+    def replay_segment(self, ops: list[tuple[tuple, float]]) -> None:
+        """Re-apply a recorded segment's additions as a new segment.
+
+        Float-identical to re-running the routing calls that produced
+        ``ops`` whenever the routing decision is provably unchanged: the
+        same edges receive the same values in the same order, only the
+        starting ledger differs. The segment list is aliased into this
+        recording (segments are immutable once recorded).
+        """
+        self.segments.append(ops)
+        self._ops = None  # no live segment: additions must replay whole
+        loads = self._loads
+        loads_get = loads.get
+        total = self._total
+        for edge, value in ops:
+            loads[edge] = loads_get(edge, 0.0) + value
+            total += value
+        self._total = total
+
+    def plain(self) -> EdgeLoads:
+        """A log-free :class:`EdgeLoads` view sharing this ledger.
+
+        Stored on evaluations so memo-cached results do not retain
+        segment logs; the underlying dict is shared, not copied (ledgers
+        are read-only once routing completes).
+        """
+        view = EdgeLoads()
+        view._loads = self._loads
+        view._total = self._total
+        view.load_bound = self.load_bound
+        return view

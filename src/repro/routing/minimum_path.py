@@ -17,8 +17,11 @@ from repro.routing.base import RoutingFunction
 from repro.routing.loads import EdgeLoads
 from repro.routing.shortest import (
     _dijkstra_min_hop,
+    _unique_min_hop_path,
+    hop_scale,
     min_hop_then_load,
     quadrant_search_entry,
+    search_edge_set,
     topology_routing_view,
 )
 from repro.topology.base import Topology, term
@@ -38,6 +41,21 @@ class MinimumPathRouting(RoutingFunction):
         if self.use_quadrant:
             return topology.quadrant_subgraph(src_slot, dst_slot)
         return topology_routing_view(topology, src_slot, dst_slot)
+
+    def load_independent(
+        self, topology: Topology, src_slot: int, dst_slot: int
+    ) -> bool:
+        """True when the search graph has a single minimum-hop path: the
+        hop-dominant weights provably pick it whatever the loads are
+        (see :func:`~repro.routing.shortest._unique_min_hop_path`)."""
+        if self.use_quadrant:
+            unique, _, _ = quadrant_search_entry(topology, src_slot, dst_slot)
+            return unique is not None
+        graph = self._search_graph(topology, src_slot, dst_slot)
+        return (
+            _unique_min_hop_path(graph, term(src_slot), term(dst_slot))
+            is not None
+        )
 
     def route_commodity(
         self,
@@ -62,9 +80,16 @@ class MinimumPathRouting(RoutingFunction):
         if unique is not None:
             path = list(unique)
         else:
-            scale = max(1.0, (loads.total + value) * (num_nodes + 1))
+            scale = hop_scale(loads, value, num_nodes)
             path = _dijkstra_min_hop(
                 succ, term(src_slot), term(dst_slot), loads.edge_map, scale
             )
         loads.add_path(path, value)
         return [(path, value)]
+
+    def search_edges(
+        self, topology: Topology, src_slot: int, dst_slot: int
+    ) -> frozenset | None:
+        if self.use_quadrant:
+            return search_edge_set(topology, src_slot, dst_slot)
+        return None  # whole-graph search: any diverged edge may matter

@@ -211,6 +211,49 @@ def _dijkstra_least_load(
     return _reconstruct(dist, pred, target)
 
 
+def hop_scale(loads: EdgeLoads, value: float, num_nodes: int) -> float:
+    """Scale keeping a whole path's load terms strictly below one hop.
+
+    With a precomputed :attr:`~repro.routing.loads.EdgeLoads.load_bound`
+    (set by ``route_all`` from the commodity list) the scale is a
+    constant of the (application, topology, slot pair) — every single
+    edge load is bounded by the final ledger total, which the bound
+    dominates, so hop dominance holds throughout the run. A
+    history-independent scale means two evaluations that agree on the
+    loads inside a commodity's search graph run the bit-identical
+    Dijkstra even when their ledgers differ elsewhere — the property the
+    incremental engine's skip-unchanged-search shortcut rests on.
+    Without a bound, fall back to the legacy running-total formula
+    (direct callers outside ``route_all``).
+    """
+    bound = loads.load_bound
+    if bound is not None:
+        return max(1.0, bound * (num_nodes + 1))
+    return max(1.0, (loads.total + value) * (num_nodes + 1))
+
+
+def search_edge_set(topology, src_slot: int, dst_slot: int) -> frozenset | None:
+    """All directed edges the quadrant search for a slot pair can read.
+
+    The incremental engine skips re-searching a clean commodity when
+    none of these edges diverged from the base ledger. Returns ``None``
+    when the quadrant is the whole topology graph (trivial quadrant,
+    e.g. Clos) — meaning "any diverged edge may matter, never skip".
+    Cached on the topology per slot pair, like the quadrant views.
+    """
+    cache = topology.__dict__.setdefault("_search_edges_cache", {})
+    key = (src_slot, dst_slot)
+    entry = cache.get(key, False)
+    if entry is False:
+        graph = topology.quadrant_subgraph(src_slot, dst_slot)
+        if graph is topology.graph:
+            entry = None
+        else:
+            entry = frozenset(graph.edges())
+        cache[key] = entry
+    return entry
+
+
 def quadrant_search_entry(
     topology, src_slot: int, dst_slot: int
 ) -> tuple[list | None, dict | None, int]:
@@ -249,9 +292,8 @@ def min_hop_then_load(
     if single is not None:
         return list(single)
     succ, num_nodes = _successors(graph)
-    # Any single edge load is bounded by the ledger total plus the value
-    # currently being routed; scale so a full path's load terms sum < 1.
-    scale = max(1.0, (loads.total + value) * (num_nodes + 1))
+    # Scale so a full path's load terms sum < 1 (see hop_scale).
+    scale = hop_scale(loads, value, num_nodes)
     return _dijkstra_min_hop(succ, src, dst, loads.edge_map, scale)
 
 

@@ -21,8 +21,10 @@ from repro.routing.base import RoutingFunction
 from repro.routing.loads import EdgeLoads
 from repro.routing.shortest import (
     _dijkstra_min_hop,
+    hop_scale,
     load_then_hops,
     quadrant_search_entry,
+    search_edge_set,
     topology_routing_view,
 )
 from repro.topology.base import Topology, term
@@ -83,6 +85,15 @@ class SplitMinPathRouting(_SplitRoutingBase):
     code = "SM"
     name = "split-traffic-minimum-paths"
 
+    def load_independent(
+        self, topology: Topology, src_slot: int, dst_slot: int
+    ) -> bool:
+        """True when the quadrant has a single minimum-hop path: SM's
+        hop-dominant chunk searches are all forced onto it, so the whole
+        commodity routes identically under any ledger."""
+        unique, _, _ = quadrant_search_entry(topology, src_slot, dst_slot)
+        return unique is not None
+
     def route_commodity(
         self,
         topology: Topology,
@@ -108,11 +119,16 @@ class SplitMinPathRouting(_SplitRoutingBase):
         loads_map = loads.edge_map
         paths = []
         for _ in range(self.chunks):
-            scale = max(1.0, (loads.total + chunk_bw) * (num_nodes + 1))
+            scale = hop_scale(loads, chunk_bw, num_nodes)
             path = _dijkstra_min_hop(succ, src, dst, loads_map, scale)
             loads.add_path(path, chunk_bw)
             paths.append((path, chunk_bw))
         return _merge(paths)
+
+    def search_edges(
+        self, topology: Topology, src_slot: int, dst_slot: int
+    ) -> frozenset | None:
+        return search_edge_set(topology, src_slot, dst_slot)
 
 
 class SplitAllPathRouting(_SplitRoutingBase):

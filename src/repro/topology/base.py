@@ -138,6 +138,7 @@ class Topology(ABC):
         state.pop("_static_power_cache", None)
         state.pop("_mp_search_cache", None)
         state.pop("_routing_view_cache", None)
+        state.pop("_search_edges_cache", None)
         return state
 
     # ------------------------------------------------------------------
