@@ -49,9 +49,13 @@ from repro.errors import (
 from repro.io import (
     core_graph_from_dict,
     core_graph_to_dict,
+    custom_topology_from_dict,
+    custom_topology_to_dict,
     load_core_graph,
+    load_topology,
     save_core_graph,
     save_selection,
+    save_topology,
     selection_to_dict,
 )
 from repro.report import (
@@ -68,6 +72,11 @@ from repro.simulation import (
     run_campaign,
 )
 from repro.sunmap import SunmapReport, run_sunmap
+from repro.synthesis import (
+    SynthesisConfig,
+    SynthesisResult,
+    synthesize_topologies,
+)
 from repro.topology import (
     CustomTopology,
     Topology,
@@ -107,10 +116,17 @@ __all__ = [
     "extended_library",
     "core_graph_to_dict",
     "core_graph_from_dict",
+    "custom_topology_to_dict",
+    "custom_topology_from_dict",
     "save_core_graph",
     "load_core_graph",
+    "save_topology",
+    "load_topology",
     "selection_to_dict",
     "save_selection",
+    "SynthesisConfig",
+    "SynthesisResult",
+    "synthesize_topologies",
     "render_floorplan",
     "render_mapping",
     "selection_to_markdown",

@@ -5,6 +5,12 @@ Commands mirror the tool's phases and the paper's experiments:
 * ``apps`` / ``topologies`` / ``library`` — inventory listings;
 * ``map`` — map one application onto one topology;
 * ``select`` — full phase-1/2 topology selection (Figures 6, 7(b));
+  ``--synthesize`` races automatically synthesized custom fabrics
+  against the library in the same table;
+* ``synthesize`` — application-specific topology synthesis: generate
+  custom fabrics from the core graph, rank them by the objective, and
+  optionally save the winner for later re-evaluation
+  (``--save-topology``);
 * ``explore`` — routing-function bandwidth sweep + Pareto points
   (Figure 9);
 * ``simulate`` — cycle-accurate latency measurement: one point with
@@ -122,9 +128,20 @@ def cmd_library(args) -> int:
     return 0
 
 
+def _load_topology_arg(args, app):
+    """Resolve --topology / --topology-file into a topology instance."""
+    if getattr(args, "topology_file", None):
+        from repro.io import load_topology
+
+        return load_topology(args.topology_file)
+    if getattr(args, "topology", None):
+        return make_topology(args.topology, app.num_cores)
+    raise ReproError("provide --topology or --topology-file")
+
+
 def cmd_map(args) -> int:
     app = _load_app(args)
-    topology = make_topology(args.topology, app.num_cores)
+    topology = _load_topology_arg(args, app)
     evaluation = map_onto(
         app,
         topology,
@@ -141,25 +158,56 @@ def cmd_map(args) -> int:
     return 0
 
 
+def _save_best_synthesized(selection, path) -> None:
+    """Write the best synthesized fabric of a selection to JSON."""
+    from repro.io import save_topology
+
+    synthesized = {
+        name: ev
+        for name, ev in selection.feasible.items()
+        if name in set(selection.synthesized)
+    }
+    if not synthesized:
+        print("no feasible synthesized fabric to save", file=sys.stderr)
+        return
+    best = min(synthesized, key=lambda n: (synthesized[n].cost, n))
+    save_topology(synthesized[best].topology, path)
+    print(f"synthesized fabric {best} saved to {path}")
+
+
 def cmd_select(args) -> int:
     app = _load_app(args)
+    topologies = None
+    if args.topology_file:
+        from repro.io import load_topology
+        from repro.topology.library import standard_library
+
+        topologies = standard_library(app.num_cores)
+        topologies.append(load_topology(args.topology_file))
+    synthesize = args.synthesize or None
     if args.fallback:
         report = run_sunmap(
             app,
             routing=args.routing,
             objective=args.objective,
             constraints=_constraints(args),
+            topologies=topologies,
             generate=False,
             jobs=args.jobs,
+            synthesize=synthesize,
         )
         print(report.summary())
+        if args.save_topology:
+            _save_best_synthesized(report.selection, args.save_topology)
         return 0
     selection = select_topology(
         app,
+        topologies=topologies,
         routing=args.routing,
         objective=args.objective,
         constraints=_constraints(args),
         jobs=args.jobs,
+        synthesize=synthesize,
     )
     if args.markdown:
         from repro.report import selection_to_markdown
@@ -173,6 +221,46 @@ def cmd_select(args) -> int:
 
         save_selection(selection, args.save)
         print(f"selection saved to {args.save}")
+    if args.save_topology:
+        _save_best_synthesized(selection, args.save_topology)
+    return 0
+
+
+def cmd_synthesize(args) -> int:
+    from repro.synthesis import SynthesisConfig, synthesize_topologies
+
+    app = _load_app(args)
+    config = SynthesisConfig(
+        strategies=_csv(args.strategies, str),
+        concentrations=_csv(args.concentrations, int),
+        max_switch_degrees=_csv(args.degrees, int),
+        max_candidates=args.max_candidates,
+    )
+    result = synthesize_topologies(
+        app,
+        config=config,
+        routing=args.routing,
+        objective=args.objective,
+        constraints=_constraints(args),
+        jobs=args.jobs,
+    )
+    print(
+        f"synthesized candidates for {app.name} "
+        f"[{args.routing}/{result.objective_name}]:"
+    )
+    print(result.format_table())
+    if result.pruned:
+        print(f"({len(result.pruned)} candidates pruned before evaluation)")
+    best = result.best
+    if best is None:
+        print("best: NO FEASIBLE SYNTHESIZED FABRIC")
+        return 0
+    print(f"best: {best.name} (cost {best.cost:.3f})")
+    if args.save_topology:
+        from repro.io import save_topology
+
+        save_topology(best.topology, args.save_topology)
+        print(f"synthesized fabric saved to {args.save_topology}")
     return 0
 
 
@@ -300,7 +388,11 @@ def _cmd_simulate(args) -> int:
 def cmd_generate(args) -> int:
     app = _load_app(args)
     topologies = None
-    if args.topology:
+    if args.topology_file:
+        from repro.io import load_topology
+
+        topologies = [load_topology(args.topology_file)]
+    elif args.topology:
         topologies = [make_topology(args.topology, app.num_cores)]
     report = run_sunmap(
         app,
@@ -337,7 +429,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("map", help="map one application onto one topology")
     _add_common(p)
-    p.add_argument("--topology", required=True)
+    p.add_argument("--topology", default=None)
+    p.add_argument(
+        "--topology-file", default=None, metavar="PATH",
+        help="JSON custom-topology file (e.g. saved by synthesize "
+        "--save-topology) to map onto instead of a library name",
+    )
 
     p = sub.add_parser("select", help="full topology selection")
     _add_common(p)
@@ -353,6 +450,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--save", default=None, metavar="PATH",
         help="write the selection outcome as JSON",
+    )
+    p.add_argument(
+        "--synthesize", action="store_true",
+        help="race automatically synthesized custom fabrics against "
+        "the library in the same selection table",
+    )
+    p.add_argument(
+        "--topology-file", default=None, metavar="PATH",
+        help="add a saved custom topology (JSON) to the candidate "
+        "library",
+    )
+    p.add_argument(
+        "--save-topology", default=None, metavar="PATH",
+        help="write the best feasible synthesized fabric as JSON",
+    )
+
+    p = sub.add_parser(
+        "synthesize",
+        help="generate application-specific custom fabrics and rank "
+        "them by the objective",
+    )
+    _add_common(p)
+    _add_jobs(p)
+    p.add_argument(
+        "--strategies", default="greedy,bisect,bounded",
+        metavar="S1,S2,...",
+        help="partition strategies to sweep",
+    )
+    p.add_argument(
+        "--concentrations", default="2,3,4", metavar="C1,C2,...",
+        help="cores-per-switch bounds to sweep",
+    )
+    p.add_argument(
+        "--degrees", default="4,6,8", metavar="D1,D2,...",
+        help="max network channels per switch to sweep",
+    )
+    p.add_argument(
+        "--max-candidates", type=int, default=12,
+        help="cap on candidates evaluated after pruning",
+    )
+    p.add_argument(
+        "--save-topology", default=None, metavar="PATH",
+        help="write the best synthesized fabric as JSON (reload with "
+        "map/select/generate --topology-file)",
     )
 
     p = sub.add_parser("explore", help="routing sweep + Pareto exploration")
@@ -406,6 +547,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_jobs(p)
     p.add_argument("--topology", default=None)
+    p.add_argument(
+        "--topology-file", default=None, metavar="PATH",
+        help="generate for a saved custom topology (JSON) instead of "
+        "running library selection",
+    )
     p.add_argument("--output", "-o", default=None)
     return parser
 
@@ -416,6 +562,7 @@ _COMMANDS = {
     "library": cmd_library,
     "map": cmd_map,
     "select": cmd_select,
+    "synthesize": cmd_synthesize,
     "explore": cmd_explore,
     "simulate": cmd_simulate,
     "generate": cmd_generate,

@@ -64,9 +64,14 @@ def bandwidth_feasible(
 ) -> tuple[bool, float]:
     """Check link loads against capacities.
 
-    Returns ``(feasible, max_constrained_load)``.
+    Returns ``(feasible, max_constrained_load)``. Fabrics with parallel
+    channels (custom topologies with repeated link pairs) are checked on
+    the worst *per-channel* load: an edge with multiplicity ``m``
+    carries ``m`` times the single-link capacity.
     """
-    net_load = result.loads.max_load(topology.net_edges())
+    net_load = result.loads.max_load(
+        topology.net_edges(), divisors=topology.channel_multiplicities()
+    )
     feasible = net_load <= constraints.link_capacity_mb_s + 1e-9
     max_load = net_load
 
@@ -113,8 +118,9 @@ def bandwidth_overflow(
     600 MB/s flow) but differ elsewhere.
     """
     cap = constraints.link_capacity_mb_s
+    mults = topology.channel_multiplicities() or {}
     overflow = sum(
-        max(0.0, result.loads.get(u, v) - cap)
+        max(0.0, result.loads.get(u, v) - cap * mults.get((u, v), 1))
         for u, v in topology.net_edges()
     )
     core_cap = constraints.core_link_capacity_mb_s

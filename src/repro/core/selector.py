@@ -28,12 +28,21 @@ from repro.topology.library import standard_library
 
 @dataclass
 class SelectionResult:
-    """Outcome of a library-wide selection run."""
+    """Outcome of a library-wide selection run.
+
+    When synthesis is enabled, synthesized fabrics appear in
+    ``evaluations``/``errors`` alongside the library entries (their
+    names carry the ``syn-`` spec labels) and are listed in
+    ``synthesized`` so tables and reports can mark them.
+    """
 
     objective_name: str
     routing_code: str
     evaluations: dict[str, MappingEvaluation] = field(default_factory=dict)
     errors: dict[str, str] = field(default_factory=dict)
+    #: Names of entries produced by topology synthesis (subset of the
+    #: evaluations/errors keys), in candidate order.
+    synthesized: list[str] = field(default_factory=list)
 
     @property
     def feasible(self) -> dict[str, MappingEvaluation]:
@@ -55,23 +64,27 @@ class SelectionResult:
 
     def table(self) -> list[dict]:
         """Rows in library order; infeasible entries carry their reason."""
+        synthesized = set(self.synthesized)
         rows = []
         for name, ev in self.evaluations.items():
             row = ev.summary_row()
             row["selected"] = name == self.best_name
             if not ev.feasible:
                 row["note"] = "no feasible mapping"
+            if synthesized:
+                row["synthesized"] = name in synthesized
             rows.append(row)
         for name, reason in self.errors.items():
-            rows.append(
-                {
-                    "topology": name,
-                    "routing": self.routing_code,
-                    "feasible": False,
-                    "selected": False,
-                    "note": reason,
-                }
-            )
+            row = {
+                "topology": name,
+                "routing": self.routing_code,
+                "feasible": False,
+                "selected": False,
+                "note": reason,
+            }
+            if synthesized:
+                row["synthesized"] = name in synthesized
+            rows.append(row)
         return rows
 
     def format_table(self) -> str:
@@ -111,6 +124,7 @@ def select_topology(
     config: MapperConfig | None = None,
     jobs: int = 1,
     engine: ExplorationEngine | None = None,
+    synthesize=None,
 ) -> SelectionResult:
     """Map onto every library topology and choose the best.
 
@@ -124,6 +138,13 @@ def select_topology(
             identical to the serial path regardless of ``jobs``.
         engine: explicit engine (overrides ``jobs``); pass the same
             engine across calls to reuse its evaluation cache.
+        synthesize: race automatically synthesized custom fabrics
+            against the library in the same table: a
+            :class:`~repro.synthesis.SynthesisConfig`, or ``True`` for
+            the default sweep. Synthesized candidates are evaluated
+            under the same routing/objective/constraints in the same
+            engine batch, marked in :attr:`SelectionResult.synthesized`
+            and eligible to win the selection outright.
 
     Raises:
         ValueError: when ``topologies`` is an empty list — selection
@@ -157,9 +178,41 @@ def select_topology(
         config=config,
         estimator=estimator,
     )
-    for topology, result in zip(topologies, engine.run(job_list)):
+
+    synth_candidates: list = []
+    synth_jobs: list = []
+    if synthesize:
+        # Imported here: the synthesis package builds on the engine and
+        # mapper layers, so a module-level import would be circular.
+        from repro.synthesis.generate import SynthesisConfig, synthesis_jobs
+
+        synth_config = (
+            synthesize
+            if isinstance(synthesize, SynthesisConfig)
+            else SynthesisConfig()
+        )
+        synth_candidates, synth_jobs, _pruned = synthesis_jobs(
+            core_graph,
+            config=synth_config,
+            routing=routing,
+            objective=objective,
+            constraints=constraints,
+            mapper_config=config,
+            estimator=estimator,
+        )
+
+    results = engine.run(job_list + synth_jobs)
+    for topology, result in zip(topologies, results):
         if result.ok:
             selection.evaluations[topology.name] = result.evaluation
         else:
             selection.errors[topology.name] = result.error
+    for (spec, _topology), result in zip(
+        synth_candidates, results[len(job_list):]
+    ):
+        selection.synthesized.append(spec.label)
+        if result.ok:
+            selection.evaluations[spec.label] = result.evaluation
+        else:
+            selection.errors[spec.label] = result.error
     return selection

@@ -62,6 +62,7 @@ def topology_fingerprint(topology: Topology) -> str:
             repr(v),
             data.get("kind", ""),
             round(data.get("length", 0.0), 9),
+            data.get("mult", 1),
         )
         for u, v, data in g.edges(data=True)
     )

@@ -1,6 +1,6 @@
 """Job and result records for the exploration engine.
 
-Two job kinds share the engine's memoize-dedupe-execute pipeline:
+Three job kinds share the engine's memoize-dedupe-execute pipeline:
 
 * :class:`EvaluationJob` — one candidate of the design space: a
   (core graph, topology, routing function, objective) tuple plus the
@@ -9,6 +9,10 @@ Two job kinds share the engine's memoize-dedupe-execute pipeline:
   (topology, traffic pattern, injection rate, seed) tuple plus the
   simulator protocol. Executing it runs one warmup/measure/drain
   flit-level measurement.
+* :class:`SynthesisJob` — one synthesized-fabric candidate of a
+  topology-synthesis sweep: a (core graph, candidate spec) pair plus
+  the mapping knobs. Executing it rebuilds the fabric from its spec
+  (a cheap pure function) and runs the full mapping search on it.
 
 Jobs carry everything a worker process needs, so they must stay
 picklable end to end; :func:`run_job` is the executor-side dispatcher
@@ -19,7 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass, field, replace
+from dataclasses import astuple, dataclass, field, replace
 
 from repro.core.constraints import Constraints
 from repro.core.coregraph import CoreGraph
@@ -39,6 +43,7 @@ from repro.errors import (
     MappingInfeasibleError,
     ReproError,
     SimulationError,
+    TopologyError,
     UnsupportedRoutingError,
 )
 from repro.physical.estimate import NetworkEstimator
@@ -321,10 +326,115 @@ def execute_simulation_job(job: SimulationJob) -> JobResult:
     return JobResult(tag=job.tag, value=report, seed=job.resolved_seed())
 
 
+@dataclass(frozen=True)
+class SynthesisJob:
+    """One synthesized-fabric candidate to build and evaluate.
+
+    ``spec`` is a :class:`~repro.synthesis.fabric.CandidateSpec` — a
+    frozen dataclass of simple values, so the job stays hashable and
+    picklable and the fabric is rebuilt deterministically wherever the
+    job executes (the topology itself never ships to workers). The
+    executed result is a :attr:`JobResult.evaluation` whose
+    ``.topology`` is the synthesized
+    :class:`~repro.topology.custom.CustomTopology`.
+
+    Attributes mirror :class:`EvaluationJob` (the evaluation half is
+    the same Figure-5 mapping search), with ``spec`` replacing the
+    explicit topology.
+    """
+
+    core_graph: CoreGraph
+    spec: object
+    routing: str = "MP"
+    objective: Objective | str = "hops"
+    constraints: Constraints | None = None
+    config: MapperConfig | None = None
+    estimator: NetworkEstimator | None = None
+    tag: str = ""
+    collect: bool = False
+    seed: int | None = None
+
+    def cache_key(self) -> tuple:
+        """Content key identifying the work (independent of ``tag``)."""
+        return (
+            "synth",
+            core_graph_fingerprint(self.core_graph),
+            type(self.spec).__name__,
+            astuple(self.spec),
+            self.routing,
+            objective_fingerprint(self.objective),
+            constraints_fingerprint(self.constraints),
+            config_fingerprint(self.config),
+            estimator_fingerprint(self.estimator),
+            self.collect,
+            self.seed,
+        )
+
+    def resolved_seed(self) -> int:
+        """The job's effective RNG seed (stable across runs/executors)."""
+        if self.seed is not None:
+            return self.seed
+        return hash_seed(self.cache_key())
+
+    def pinned(self, key: tuple) -> "SynthesisJob":
+        """Copy with the content-derived seed made explicit (see
+        :meth:`EvaluationJob.pinned`)."""
+        if self.seed is not None:
+            return self
+        return replace(self, seed=hash_seed(key))
+
+
+def execute_synthesis_job(job: SynthesisJob) -> JobResult:
+    """Build one candidate fabric and run its mapping search.
+
+    Module-level so :class:`ProcessExecutor` can pickle it; the fabric
+    builder is imported lazily so the engine package keeps no hard
+    dependency on the synthesis package (which imports this module).
+    An unbuildable spec (degree bound cannot connect the clusters) is
+    captured as an error result, not a crash — the sweep simply loses
+    that candidate, like an infeasible mapping.
+    """
+    from repro.synthesis.fabric import build_candidate
+
+    seed = job.resolved_seed()
+    collector: list[MappingEvaluation] | None = [] if job.collect else None
+    rng_state = random.getstate()
+    random.seed(seed)
+    try:
+        topology = build_candidate(job.core_graph, job.spec)
+        evaluation = map_onto(
+            job.core_graph,
+            topology,
+            routing=job.routing,
+            objective=job.objective,
+            constraints=job.constraints,
+            estimator=job.estimator,
+            config=job.config,
+            collector=collector,
+        )
+    except CAPTURED_ERRORS + (TopologyError,) as exc:
+        return JobResult(
+            tag=job.tag,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            seed=seed,
+        )
+    finally:
+        random.setstate(rng_state)
+    return JobResult(
+        tag=job.tag,
+        evaluation=evaluation,
+        collected=collector or [],
+        seed=seed,
+    )
+
+
 def run_job(job) -> JobResult:
     """Executor-side dispatcher across job kinds (must stay picklable)."""
     if isinstance(job, SimulationJob):
         return execute_simulation_job(job)
+    if isinstance(job, SynthesisJob):
+        return execute_synthesis_job(job)
     return execute_job(job)
 
 

@@ -1,8 +1,11 @@
-"""JSON serialization for applications and selection results.
+"""JSON serialization for applications, topologies and selection results.
 
 Lets users describe their SoC outside Python and feed it to the CLI
-(``sunmap select --app-file my_soc.json``), and lets tools consume
-selection outcomes programmatically.
+(``sunmap select --app-file my_soc.json``), lets tools consume selection
+outcomes programmatically, and lets synthesized custom fabrics be saved,
+reloaded and re-evaluated without re-running synthesis
+(``sunmap synthesize --save-topology fabric.json`` then
+``sunmap map --topology-file fabric.json``).
 
 Core-graph schema::
 
@@ -18,6 +21,15 @@ Core-graph schema::
         ...
       ]
     }
+
+Custom-topology schema (parallel channels carried as ``mult``)::
+
+    {
+      "name": "syn-greedy-s3c4d4",
+      "slot_switch": [0, 0, 1, 1, 2],
+      "links": [{"a": 0, "b": 1, "mult": 2}, {"a": 1, "b": 2}],
+      "positions": {"0": [0.0, 0.0], "1": [1.0, 0.0], "2": [0.0, 1.0]}
+    }
 """
 
 from __future__ import annotations
@@ -26,7 +38,8 @@ import json
 
 from repro.core.coregraph import CoreGraph
 from repro.core.selector import SelectionResult
-from repro.errors import CoreGraphError
+from repro.errors import CoreGraphError, TopologyError
+from repro.topology.custom import CustomTopology
 
 
 def core_graph_to_dict(graph: CoreGraph) -> dict:
@@ -86,12 +99,69 @@ def load_core_graph(path) -> CoreGraph:
         return core_graph_from_dict(json.load(handle))
 
 
+def custom_topology_to_dict(topology: CustomTopology) -> dict:
+    """Serializable description of an explicit switch fabric."""
+    return {
+        "name": topology.name,
+        "slot_switch": topology.slot_switch,
+        "links": [
+            {"a": a, "b": b, "mult": mult}
+            for (a, b), mult in sorted(topology.link_multiplicity().items())
+        ],
+        "positions": {
+            str(sid): [x, y]
+            for sid, (x, y) in sorted(topology.switch_positions().items())
+        },
+    }
+
+
+def custom_topology_from_dict(payload: dict) -> CustomTopology:
+    """Rebuild a custom fabric from its dict form (validates).
+
+    Round-trips :func:`custom_topology_to_dict` exactly: the rebuilt
+    topology has the same name, slots, channel multiplicities and switch
+    positions, so re-evaluating it reproduces the original results.
+    """
+    try:
+        links: list[tuple[int, int]] = []
+        for link in payload["links"]:
+            pair = (int(link["a"]), int(link["b"]))
+            links.extend([pair] * int(link.get("mult", 1)))
+        positions = {
+            int(sid): (float(xy[0]), float(xy[1]))
+            for sid, xy in (payload.get("positions") or {}).items()
+        }
+        return CustomTopology(
+            name=payload["name"],
+            slot_switch=[int(s) for s in payload["slot_switch"]],
+            links=links,
+            positions=positions or None,
+        )
+    except KeyError as exc:
+        raise TopologyError(
+            f"missing field in topology JSON: {exc}"
+        ) from None
+    except (TypeError, ValueError, IndexError, AttributeError) as exc:
+        raise TopologyError(f"malformed topology JSON: {exc}") from None
+
+
+def save_topology(topology: CustomTopology, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(custom_topology_to_dict(topology), handle, indent=2)
+
+
+def load_topology(path) -> CustomTopology:
+    with open(path, "r", encoding="utf-8") as handle:
+        return custom_topology_from_dict(json.load(handle))
+
+
 def selection_to_dict(selection: SelectionResult) -> dict:
     """Serializable selection outcome (summary rows + winner)."""
     return {
         "objective": selection.objective_name,
         "routing": selection.routing_code,
         "best": selection.best_name,
+        "synthesized": list(selection.synthesized),
         "rows": selection.table(),
     }
 

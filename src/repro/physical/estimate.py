@@ -197,14 +197,17 @@ class NetworkEstimator:
                 / 2.0
             )
             leakage += tech.leakage_mw_per_mm2 * entry.area_mm2
-        # Link repeater leakage over instantiated channels.
+        # Link repeater leakage over instantiated channels; every
+        # parallel physical channel of a fat link leaks independently.
+        mults = topology.channel_multiplicities()
         for u, v in topology.net_edges():
             if u in used and v in used:
                 if lengths_mm is not None and (u, v) in lengths_mm:
                     length = lengths_mm[(u, v)]
                 else:
                     length = nominal[(u, v)] * pitch_mm
-                leakage += link_leakage_power_mw(length, tech)
+                m = mults.get((u, v), 1) if mults else 1
+                leakage += link_leakage_power_mw(length, tech) * m
         if static_cache is not None:
             static_cache[static_key] = (clock, leakage)
         return clock, leakage
@@ -252,9 +255,14 @@ class NetworkEstimator:
         lengths_mm: dict | None = None,
         pitch_mm: float = 2.0,
     ) -> float:
-        """Total wiring area of the instantiated inter-switch channels."""
+        """Total wiring area of the instantiated inter-switch channels.
+
+        A fat link instantiates one physical channel per unit of its
+        multiplicity, so its wiring area scales accordingly.
+        """
         _, nominal = self._physical_tables(topology)
         used = self.used_switches(topology, result)
+        mults = topology.channel_multiplicities()
         total = 0.0
         for u, v in topology.net_edges():
             if u in used and v in used:
@@ -262,7 +270,8 @@ class NetworkEstimator:
                     length = lengths_mm[(u, v)]
                 else:
                     length = nominal[(u, v)] * pitch_mm
+                m = mults.get((u, v), 1) if mults else 1
                 total += channel_area_mm2(
                     length, self.tech.flit_width_bits, self.tech
-                )
+                ) * m
         return total

@@ -108,11 +108,14 @@ class RoutingResult:
 
     def max_link_load(self, topology: Topology) -> float:
         """Heaviest constrained-link load — the minimum feasible link
-        bandwidth of this routing (Figure 9(a) metric)."""
+        bandwidth of this routing (Figure 9(a) metric). Parallel
+        channels divide their edge's load (per-channel semantics)."""
         edges = topology.net_edges()
         if topology.constrain_core_links:
             edges = edges + topology.core_edges()
-        return self.loads.max_load(edges)
+        return self.loads.max_load(
+            edges, divisors=topology.channel_multiplicities()
+        )
 
 
 class RoutingFunction(ABC):

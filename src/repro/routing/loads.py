@@ -56,12 +56,27 @@ class EdgeLoads:
         """Sum of load over all edges (an upper bound on any single load)."""
         return self._total
 
-    def max_load(self, edges=None) -> float:
-        """Largest per-edge load, optionally restricted to ``edges``."""
+    def max_load(self, edges=None, divisors: dict | None = None) -> float:
+        """Largest per-edge load, optionally restricted to ``edges``.
+
+        ``divisors`` — ``{edge: channel count}`` from
+        :meth:`~repro.topology.base.Topology.channel_multiplicities` —
+        divides each listed edge's load by its parallel-channel count,
+        so the result is the worst *per-channel* load of a fabric with
+        fat links. ``None`` (every channel single) keeps the fast path.
+        """
         if edges is None:
             return max(self._loads.values(), default=0.0)
         loads_get = self._loads.get
         best = 0.0
+        if divisors:
+            divisors_get = divisors.get
+            for e in edges:
+                edge = tuple(e)
+                load = loads_get(edge, 0.0) / divisors_get(edge, 1)
+                if load > best:
+                    best = load
+            return best
         for e in edges:
             load = loads_get(tuple(e), 0.0)
             if load > best:

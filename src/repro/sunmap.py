@@ -105,6 +105,7 @@ def run_sunmap(
     routing_fallbacks: tuple[str, ...] = DEFAULT_ROUTING_FALLBACKS,
     jobs: int = 1,
     engine: ExplorationEngine | None = None,
+    synthesize=None,
 ) -> SunmapReport:
     """Run the full SUNMAP flow on an application.
 
@@ -112,6 +113,12 @@ def run_sunmap(
         routing: first routing function to try (paper code DO/MP/SM/SA).
         routing_fallbacks: escalation sequence when nothing is feasible.
         generate: emit the winner's netlist and SystemC (phase 3).
+        synthesize: race automatically synthesized custom fabrics
+            against the library (a
+            :class:`~repro.synthesis.SynthesisConfig` or ``True`` for
+            the defaults). Synthesized winners flow through generation
+            and simulation exactly like library ones; each routing
+            escalation step re-evaluates the candidates under its code.
         simulate: validate the winner with a flit-level simulation
             campaign (phase 4): pass a
             :class:`~repro.simulation.campaign.CampaignConfig`, or
@@ -155,6 +162,7 @@ def run_sunmap(
             estimator=estimator,
             config=config,
             engine=engine,
+            synthesize=synthesize,
         )
         if selection.best is not None:
             break

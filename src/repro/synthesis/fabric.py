@@ -1,0 +1,237 @@
+"""Build a :class:`~repro.topology.custom.CustomTopology` from a partition.
+
+The fabric construction rule is switch-per-cluster: every cluster of the
+partition becomes one switch carrying its cores as terminal slots
+(concentration), and clusters that exchange traffic are wired together
+with channels sized from their aggregate commodity bandwidth — a pair
+whose directional demand exceeds one link capacity gets a *fat link*
+(parallel channels, the ``mult`` machinery of
+:class:`~repro.topology.custom.CustomTopology`).
+
+Link placement is degree-bounded and deterministic:
+
+1. a degree-constrained maximum spanning tree over the cluster
+   communication graph guarantees connectivity while spending as few
+   channels as possible on it (heaviest pairs first, Kruskal with a
+   per-switch channel budget);
+2. remaining channel budget is spent upgrading the heaviest
+   communicating pairs toward their demanded multiplicity
+   ``ceil(demand / capacity)`` — direct links first for hop locality,
+   extra channels for bandwidth.
+
+The result is an explicit, connected, degree-bounded switch fabric that
+drops into the existing mapping/selection/generation pipeline unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.coregraph import CoreGraph
+from repro.errors import TopologyError
+from repro.synthesis.partition import make_partition
+from repro.topology.custom import CustomTopology
+
+
+@dataclass(frozen=True)
+class CandidateSpec:
+    """Everything needed to rebuild one synthesized fabric.
+
+    A spec is a pure value: ``build_candidate(core_graph, spec)`` is a
+    deterministic function, so specs can ship to worker processes (the
+    fabric is rebuilt on the other side) and serve as engine cache keys.
+
+    Attributes:
+        strategy: partition strategy name
+            (:data:`~repro.synthesis.partition.PARTITION_STRATEGIES`).
+        num_switches: target cluster count handed to the partitioner
+            (strategies may return more when bounds force it).
+        max_cluster_size: concentration bound — cores per switch.
+        max_switch_degree: maximum network channels per switch
+            (core ports excluded; parallel channels each count).
+        link_capacity_mb_s: per-channel capacity used to size fat links.
+    """
+
+    strategy: str
+    num_switches: int
+    max_cluster_size: int
+    max_switch_degree: int
+    link_capacity_mb_s: float
+
+    @property
+    def label(self) -> str:
+        """Unique topology/table name for this candidate."""
+        return (
+            f"syn-{self.strategy}-s{self.num_switches}"
+            f"c{self.max_cluster_size}d{self.max_switch_degree}"
+        )
+
+
+def intended_assignment(clusters: list[list[int]]) -> dict[int, int]:
+    """The placement the fabric was shaped for: cores in cluster order.
+
+    Slot ``j`` of the fabric belongs to the ``j``-th core of the
+    flattened cluster list, so this is the identity the partitioner had
+    in mind. The mapper is free to find a better one; structural pruning
+    uses this to estimate hop locality without running a search.
+    """
+    flat = [core for cluster in clusters for core in cluster]
+    return {core: slot for slot, core in enumerate(flat)}
+
+
+def fabric_from_partition(
+    core_graph: CoreGraph,
+    clusters: list[list[int]],
+    name: str,
+    max_switch_degree: int,
+    link_capacity_mb_s: float,
+) -> CustomTopology:
+    """Wire one switch per cluster into a connected, degree-bounded fabric.
+
+    Raises:
+        TopologyError: when the degree bound cannot even hold a
+            connected fabric (``max_switch_degree < 2`` with three or
+            more clusters, ``< 1`` with two).
+    """
+    k = len(clusters)
+    if k == 0:
+        raise TopologyError("fabric needs at least one cluster")
+    if k == 2 and max_switch_degree < 1:
+        raise TopologyError("two clusters need at least degree 1")
+    if k > 2 and max_switch_degree < 2:
+        raise TopologyError(
+            f"{k} clusters cannot form a connected fabric with "
+            f"max_switch_degree={max_switch_degree}"
+        )
+
+    slot_switch = [
+        ci for ci, cluster in enumerate(clusters) for _ in cluster
+    ]
+
+    # Aggregate directional bandwidth between cluster pairs.
+    cluster_of: dict[int, int] = {}
+    for ci, cluster in enumerate(clusters):
+        for core in cluster:
+            cluster_of[core] = ci
+    directional: dict[tuple[int, int], float] = {}
+    for (src, dst), value in core_graph.flows().items():
+        a, b = cluster_of[src], cluster_of[dst]
+        if a != b:
+            directional[(a, b)] = directional.get((a, b), 0.0) + value
+
+    def demand(a: int, b: int) -> float:
+        """Worst directional demand across the (a, b) channel pair."""
+        return max(
+            directional.get((a, b), 0.0), directional.get((b, a), 0.0)
+        )
+
+    def weight(a: int, b: int) -> float:
+        return directional.get((a, b), 0.0) + directional.get((b, a), 0.0)
+
+    pairs = [(a, b) for a in range(k) for b in range(a + 1, k)]
+    # Heaviest-communication pairs first; zero-weight pairs follow in
+    # index order, so the spanning phase prefers useful links but can
+    # always fall back to them for connectivity.
+    pairs.sort(key=lambda p: (-weight(*p), p))
+
+    degree_left = {ci: max_switch_degree for ci in range(k)}
+    mult: dict[tuple[int, int], int] = {}
+
+    # Phase 1 — degree-constrained maximum spanning tree (connectivity).
+    # With a budget of >= 2 per switch this always connects: a forest on
+    # m nodes spends fewer than 2m channel-ends, so every component
+    # keeps a node with spare budget, and the complete pair list
+    # eventually offers a pair of spare nodes across any two components.
+    root = list(range(k))
+
+    def find(x: int) -> int:
+        while root[x] != x:
+            root[x] = root[root[x]]
+            x = root[x]
+        return x
+
+    joined = 1
+    for a, b in pairs:
+        if joined == k:
+            break
+        ra, rb = find(a), find(b)
+        if ra == rb or degree_left[a] < 1 or degree_left[b] < 1:
+            continue
+        root[ra] = rb
+        mult[(a, b)] = 1
+        degree_left[a] -= 1
+        degree_left[b] -= 1
+        joined += 1
+    if k > 1 and len({find(x) for x in range(k)}) != 1:
+        raise TopologyError(
+            f"{name}: degree budget {max_switch_degree} cannot connect "
+            f"{k} switches"
+        )
+
+    # Phase 2 — spend remaining budget on demanded capacity: heaviest
+    # pairs first, each toward ceil(demand / capacity) channels.
+    for a, b in pairs:
+        d = demand(a, b)
+        if d <= 0.0:
+            continue
+        if math.isfinite(link_capacity_mb_s) and link_capacity_mb_s > 0:
+            desired = max(1, math.ceil(d / link_capacity_mb_s - 1e-9))
+        else:
+            desired = 1
+        have = mult.get((a, b), 0)
+        while (
+            have < desired and degree_left[a] > 0 and degree_left[b] > 0
+        ):
+            have += 1
+            degree_left[a] -= 1
+            degree_left[b] -= 1
+        if have:
+            mult[(a, b)] = have
+
+    links = [
+        pair for pair, count in sorted(mult.items()) for _ in range(count)
+    ]
+    return CustomTopology(name=name, slot_switch=slot_switch, links=links)
+
+
+def build_candidate(
+    core_graph: CoreGraph, spec: CandidateSpec
+) -> CustomTopology:
+    """Deterministically rebuild the fabric a spec describes.
+
+    Pure function of ``(core_graph, spec)`` — executed locally for
+    structural pruning and re-executed inside engine workers, always
+    yielding a bit-identical topology.
+    """
+    clusters = make_partition(
+        spec.strategy,
+        core_graph,
+        spec.num_switches,
+        spec.max_cluster_size,
+        bw_budget=spec.max_switch_degree * spec.link_capacity_mb_s
+        if math.isfinite(spec.link_capacity_mb_s)
+        else None,
+    )
+    return fabric_from_partition(
+        core_graph,
+        clusters,
+        name=spec.label,
+        max_switch_degree=spec.max_switch_degree,
+        link_capacity_mb_s=spec.link_capacity_mb_s,
+    )
+
+
+def candidate_clusters(
+    core_graph: CoreGraph, spec: CandidateSpec
+) -> list[list[int]]:
+    """The partition behind a spec (for proxies and diagnostics)."""
+    return make_partition(
+        spec.strategy,
+        core_graph,
+        spec.num_switches,
+        spec.max_cluster_size,
+        bw_budget=spec.max_switch_degree * spec.link_capacity_mb_s
+        if math.isfinite(spec.link_capacity_mb_s)
+        else None,
+    )

@@ -1,0 +1,240 @@
+"""Core-graph partitioning strategies for topology synthesis.
+
+Every strategy cuts the application's core graph into clusters that will
+each become one switch of a synthesized fabric
+(:mod:`repro.synthesis.fabric`). The objective is the classic
+application-specific NoC partitioning goal: keep heavy communication
+*inside* a cluster (one-hop traffic through a shared switch) and make
+the traffic that must cross clusters as light as possible (it pays for
+inter-switch channels).
+
+Three deterministic strategies, spanning the trade-off space:
+
+* ``greedy`` — communication-weighted cluster merging in the spirit of
+  Kernighan–Lin coarsening: start one cluster per core and repeatedly
+  merge the pair of clusters exchanging the most bandwidth, subject to
+  the concentration bound. Chases bandwidth locality aggressively;
+  cluster sizes can be uneven.
+* ``bisect`` — recursive min-cut bisection: split the core set into two
+  balanced halves minimizing the cut bandwidth (greedy gain-driven
+  growth), recursing until every part fits the concentration bound.
+  Produces balanced clusters, so switch radices stay uniform.
+* ``bounded`` — degree/bandwidth-bounded clustering: place cores in
+  decreasing-traffic order into the cluster with the highest affinity
+  whose size *and* aggregate external bandwidth stay under budget.
+  Respects physical limits first (a cluster whose external traffic
+  exceeds what its switch's links can carry is never formed), locality
+  second.
+
+All strategies are pure functions of their arguments with deterministic
+tie-breaking (no RNG), which is what lets synthesized candidate sets
+reproduce bit-identically across runs, worker counts and processes.
+"""
+
+from __future__ import annotations
+
+from repro.core.coregraph import CoreGraph
+from repro.errors import TopologyError
+
+
+def _check_bounds(n: int, num_clusters: int, max_cluster_size: int) -> None:
+    if max_cluster_size < 1:
+        raise TopologyError("max_cluster_size must be at least 1")
+    if num_clusters < 1:
+        raise TopologyError("need at least one cluster")
+    if num_clusters * max_cluster_size < n:
+        raise TopologyError(
+            f"{num_clusters} clusters of at most {max_cluster_size} cores "
+            f"cannot hold {n} cores"
+        )
+
+
+def _normalized(clusters: list[list[int]]) -> list[list[int]]:
+    """Canonical form: members sorted, clusters ordered by first member."""
+    parts = [sorted(c) for c in clusters if c]
+    parts.sort(key=lambda c: c[0])
+    return parts
+
+
+def greedy_merge_partition(
+    core_graph: CoreGraph,
+    num_clusters: int,
+    max_cluster_size: int,
+    bw_budget: float | None = None,
+) -> list[list[int]]:
+    """Kernighan–Lin-style greedy communication-weighted merging.
+
+    Merges the cluster pair with the largest inter-cluster bandwidth
+    until ``num_clusters`` remain (or no merge fits the size bound).
+    Ties break on the smallest cluster indices.
+    """
+    n = core_graph.num_cores
+    _check_bounds(n, num_clusters, max_cluster_size)
+    clusters: list[list[int]] = [[i] for i in range(n)]
+
+    def inter_comm(a: list[int], b: list[int]) -> float:
+        return sum(
+            core_graph.comm_between(x, y) for x in a for y in b
+        )
+
+    while len(clusters) > num_clusters:
+        best: tuple[float, int, int] | None = None
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                if len(clusters[i]) + len(clusters[j]) > max_cluster_size:
+                    continue
+                comm = inter_comm(clusters[i], clusters[j])
+                if best is None or comm > best[0] + 1e-12:
+                    best = (comm, i, j)
+        if best is None:
+            break  # no merge fits the concentration bound
+        _, i, j = best
+        clusters[i] = sorted(clusters[i] + clusters[j])
+        del clusters[j]
+    return _normalized(clusters)
+
+
+def bisection_partition(
+    core_graph: CoreGraph,
+    num_clusters: int,
+    max_cluster_size: int,
+    bw_budget: float | None = None,
+) -> list[list[int]]:
+    """Recursive min-cut bisection over the core graph.
+
+    Each level splits a part into two balanced halves, growing the
+    first half greedily from the part's heaviest core by the classic
+    gain (communication into the half minus communication to the rest).
+    Recursion stops when a part fits the concentration bound; the
+    ``num_clusters`` argument only validates feasibility (the leaf
+    count is driven by the size bound, keeping halves balanced).
+    """
+    n = core_graph.num_cores
+    _check_bounds(n, num_clusters, max_cluster_size)
+
+    def internal_traffic(core: int, cores: list[int]) -> float:
+        return sum(
+            core_graph.comm_between(core, o) for o in cores if o != core
+        )
+
+    def split(cores: list[int]) -> list[list[int]]:
+        if len(cores) <= max_cluster_size:
+            return [sorted(cores)]
+        half = (len(cores) + 1) // 2
+        seed = max(
+            cores, key=lambda c: (internal_traffic(c, cores), -c)
+        )
+        part = [seed]
+        rest = [c for c in cores if c != seed]
+        while len(part) < half:
+            def gain(c: int) -> float:
+                to_part = sum(
+                    core_graph.comm_between(c, p) for p in part
+                )
+                to_rest = sum(
+                    core_graph.comm_between(c, r) for r in rest if r != c
+                )
+                return to_part - to_rest
+
+            pick = max(rest, key=lambda c: (gain(c), -c))
+            part.append(pick)
+            rest.remove(pick)
+        return split(part) + split(rest)
+
+    return _normalized(split(list(range(n))))
+
+
+def bounded_partition(
+    core_graph: CoreGraph,
+    num_clusters: int,
+    max_cluster_size: int,
+    bw_budget: float | None = None,
+) -> list[list[int]]:
+    """Degree/bandwidth-bounded clustering.
+
+    Cores join clusters in decreasing-traffic order; a core joins the
+    existing cluster with the highest affinity (bandwidth exchanged with
+    its members) among those whose size stays within the concentration
+    bound and whose aggregate *external* bandwidth — traffic between
+    members and everything outside — stays within ``bw_budget`` (the
+    capacity a switch's network links can collectively carry; ``None``
+    lifts the bound). A core with no admissible cluster opens a new one.
+    """
+    n = core_graph.num_cores
+    _check_bounds(n, num_clusters, max_cluster_size)
+
+    def external_bw(members: list[int]) -> float:
+        inside = set(members)
+        return sum(
+            v
+            for (s, d), v in core_graph.flows().items()
+            if (s in inside) != (d in inside)
+        )
+
+    order = sorted(
+        range(n), key=lambda c: (-core_graph.core_traffic(c), c)
+    )
+    clusters: list[list[int]] = []
+    for core in order:
+        best_index: int | None = None
+        best_affinity = 0.0
+        for index, members in enumerate(clusters):
+            if len(members) >= max_cluster_size:
+                continue
+            affinity = sum(
+                core_graph.comm_between(core, m) for m in members
+            )
+            if affinity <= best_affinity:
+                continue
+            if bw_budget is not None:
+                if external_bw(members + [core]) > bw_budget + 1e-9:
+                    continue
+            best_index = index
+            best_affinity = affinity
+        if best_index is None:
+            clusters.append([core])
+        else:
+            clusters[best_index].append(core)
+    return _normalized(clusters)
+
+
+#: Registry used by :mod:`repro.synthesis.fabric` (spec.strategy values).
+PARTITION_STRATEGIES = {
+    "greedy": greedy_merge_partition,
+    "bisect": bisection_partition,
+    "bounded": bounded_partition,
+}
+
+
+def make_partition(
+    strategy: str,
+    core_graph: CoreGraph,
+    num_clusters: int,
+    max_cluster_size: int,
+    bw_budget: float | None = None,
+) -> list[list[int]]:
+    """Run one registered strategy; validates the invariants.
+
+    Returns clusters in canonical order (each sorted, ordered by first
+    member); every core appears in exactly one cluster and no cluster
+    exceeds ``max_cluster_size``.
+    """
+    try:
+        fn = PARTITION_STRATEGIES[strategy]
+    except KeyError:
+        raise TopologyError(
+            f"unknown partition strategy {strategy!r}; available: "
+            f"{sorted(PARTITION_STRATEGIES)}"
+        ) from None
+    clusters = fn(core_graph, num_clusters, max_cluster_size, bw_budget)
+    seen = [c for cluster in clusters for c in cluster]
+    if sorted(seen) != list(range(core_graph.num_cores)):
+        raise TopologyError(
+            f"{strategy}: partition does not cover every core exactly once"
+        )
+    oversized = [c for c in clusters if len(c) > max_cluster_size]
+    if oversized:
+        raise TopologyError(
+            f"{strategy}: cluster exceeds max size {max_cluster_size}"
+        )
+    return clusters

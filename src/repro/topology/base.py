@@ -118,6 +118,7 @@ class Topology(ABC):
         self._direct_resource_cache: tuple | None = None
         self._switches_cache: list | None = None
         self._switch_of_cache: dict | None = None
+        self._channel_mult_cache: dict | None | str = "unset"
 
     def __getstate__(self) -> dict:
         """Drop derived caches when pickling (engine jobs ship
@@ -132,6 +133,7 @@ class Topology(ABC):
         state["_direct_resource_cache"] = None
         state["_switches_cache"] = None
         state["_switch_of_cache"] = None
+        state["_channel_mult_cache"] = "unset"
         # Caches attached by the simulator / estimator / routing layers.
         state.pop("_sim_layout_cache", None)
         state.pop("_phys_tables_cache", None)
@@ -198,16 +200,46 @@ class Topology(ABC):
         return self._core_edges_cache
 
     def switch_ports(self, sw) -> tuple[int, int]:
-        """(input ports, output ports) of a switch, core ports included."""
+        """(input ports, output ports) of a switch, core ports included.
+
+        Parallel physical channels (the ``mult`` edge attribute of
+        custom fabrics) each occupy a port, so a double link contributes
+        two ports on each side; ordinary topologies carry no ``mult``
+        attribute and count one port per edge as before.
+        """
         cache = self._switch_ports_cache
         if cache is None:
             g = self.graph
             cache = self._switch_ports_cache = {
-                node: (g.in_degree(node), g.out_degree(node))
+                node: (
+                    int(g.in_degree(node, weight="mult")),
+                    int(g.out_degree(node, weight="mult")),
+                )
                 for node in g.nodes
                 if is_switch(node)
             }
         return cache[sw]
+
+    def channel_multiplicity(self, u, v) -> int:
+        """Parallel physical channels on edge ``u -> v`` (default 1)."""
+        return int(self.graph.edges[u, v].get("mult", 1))
+
+    def channel_multiplicities(self) -> dict | None:
+        """``{directed net edge: channels}`` for fat links, else ``None``.
+
+        ``None`` — the common case, every channel single — lets the
+        bandwidth checks keep their original fast path; custom fabrics
+        with parallel links get a dict restricted to the edges whose
+        multiplicity exceeds one (cached; do not mutate).
+        """
+        if self._channel_mult_cache == "unset":
+            mults = {
+                (u, v): int(d["mult"])
+                for u, v, d in self.graph.edges(data=True)
+                if d.get("mult", 1) != 1
+            }
+            self._channel_mult_cache = mults or None
+        return self._channel_mult_cache
 
     def switch_of(self, slot: int):
         """The switch a terminal injects into (first hop)."""
@@ -346,11 +378,12 @@ class Topology(ABC):
                 used_switches = set(self.switches)
                 seen = set()
                 net_links = 0
+                edge_data = self.graph.edges
                 for u, v in self.net_edges():
                     if (v, u) in seen:
                         continue
                     seen.add((u, v))
-                    net_links += 1
+                    net_links += int(edge_data[u, v].get("mult", 1))
                 ports = {
                     sw: self.switch_ports(sw)
                     for sw in sorted(used_switches)

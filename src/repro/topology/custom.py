@@ -5,6 +5,8 @@ as future work; this module supplies the modeling half: an arbitrary
 switch fabric — any switch sizes, any connectivity, several cores
 concentrated on one switch — described explicitly and dropped into the
 same mapping/selection/generation machinery as the library topologies.
+(:mod:`repro.synthesis` supplies the *generation* half: it produces
+these fabrics automatically from a core graph.)
 
 Example — two 5-port hub switches bridged by a double link::
 
@@ -13,6 +15,17 @@ Example — two 5-port hub switches bridged by a double link::
         slot_switch=[0, 0, 0, 0, 1, 1, 1, 1],   # slots 0-3 on hub 0
         links=[(0, 1), (0, 1)],                  # parallel bridge links
     )
+
+Repeated link pairs model *parallel physical channels*: the pair above
+becomes one graph edge carrying an explicit channel multiplicity of 2
+(the ``mult`` edge attribute). Multiplicity is a capacity multiplier —
+bandwidth feasibility divides the edge load by it, the physical models
+instantiate that many channels (wiring area, repeater leakage, switch
+ports), and generation emits that many pipelined links. One known gap:
+the flit-level simulator still models a fat link as a *single* channel
+(one flit per cycle per VC), a conservative under-approximation of its
+throughput — campaign latency curves on fat-link fabrics saturate
+earlier than the physical design would.
 
 Quadrant graphs degenerate to the whole fabric (Section 4.3's
 constructions are topology-specific), so minimum-path search stays
@@ -39,9 +52,10 @@ class CustomTopology(Topology):
             switch its core attaches to (bidirectionally). Several slots
             may share a switch (concentration).
         links: switch-id pairs; each entry creates one bidirectional
-            channel. Repeated pairs create parallel channels — modeled
-            as a single fatter link (loads merge), so they are collapsed
-            with a warning-free union here.
+            channel. Repeated pairs create parallel channels, modeled as
+            one graph edge with an explicit channel multiplicity (the
+            ``mult`` edge attribute) acting as a capacity multiplier.
+            Self-loop pairs ``(s, s)`` raise :class:`TopologyError`.
         positions: optional ``{switch_id: (x, y)}`` placement in tile
             pitches; defaults to a near-square grid in id order.
     """
@@ -66,7 +80,10 @@ class CustomTopology(Topology):
         for a, b in links:
             if a == b:
                 raise TopologyError(f"self-link on switch {a}")
-        self._links = [tuple(sorted(pair)) for pair in links]
+        #: Channel multiplicity per undirected switch pair.
+        self._link_mult: dict[tuple[int, int], int] = dict(
+            Counter(tuple(sorted(pair)) for pair in links)
+        )
         self._positions = dict(positions or {})
         if not self._positions:
             side = max(1, math.ceil(math.sqrt(len(self._switch_ids))))
@@ -82,18 +99,31 @@ class CustomTopology(Topology):
     def num_slots(self) -> int:
         return len(self._slot_switch)
 
+    @property
+    def slot_switch(self) -> list[int]:
+        """Per-slot attached switch id (a copy; serialization uses it)."""
+        return list(self._slot_switch)
+
     def concentration(self) -> dict[int, int]:
         """Cores per switch (heterogeneity summary)."""
         return dict(Counter(self._slot_switch))
+
+    def link_multiplicity(self) -> dict[tuple[int, int], int]:
+        """Channel count per undirected switch pair (a copy)."""
+        return dict(self._link_mult)
+
+    def switch_positions(self) -> dict[int, tuple[float, float]]:
+        """Switch placements in tile pitches (a copy)."""
+        return dict(self._positions)
 
     def _build(self) -> nx.DiGraph:
         g = nx.DiGraph(name=self.name)
         for slot, sid in enumerate(self._slot_switch):
             g.add_edge(term(slot), switch(sid), kind="core")
             g.add_edge(switch(sid), term(slot), kind="core")
-        for a, b in set(self._links):
-            g.add_edge(switch(a), switch(b), kind="net")
-            g.add_edge(switch(b), switch(a), kind="net")
+        for (a, b), mult in sorted(self._link_mult.items()):
+            g.add_edge(switch(a), switch(b), kind="net", mult=mult)
+            g.add_edge(switch(b), switch(a), kind="net", mult=mult)
         return g
 
     def position(self, node) -> tuple[float, float]:

@@ -134,18 +134,20 @@ def build_netlist(
         )
         netlist.node_instance[term(slot)] = name
 
-    # Port numbering: stable sort of each switch's graph edges.
+    # Port numbering: stable sort of each switch's graph edges. A fat
+    # link (``mult`` channels) reserves one port per physical channel.
+    edge_data = topology.graph.edges
     in_port: dict[tuple, int] = {}
     out_port: dict[tuple, int] = {}
     for sw in switches:
-        for idx, (u, v) in enumerate(
-            sorted(topology.graph.in_edges(sw), key=repr)
-        ):
+        idx = 0
+        for u, v in sorted(topology.graph.in_edges(sw), key=repr):
             in_port[(u, v)] = idx
-        for idx, (u, v) in enumerate(
-            sorted(topology.graph.out_edges(sw), key=repr)
-        ):
+            idx += int(edge_data[u, v].get("mult", 1))
+        idx = 0
+        for u, v in sorted(topology.graph.out_edges(sw), key=repr):
             out_port[(u, v)] = idx
+            idx += int(edge_data[u, v].get("mult", 1))
 
     link_id = 0
     for u, v, data in sorted(topology.graph.edges(data=True), key=repr):
@@ -157,19 +159,21 @@ def build_netlist(
             length = lengths_mm[(u, v)]
         else:
             length = data["length"]
-        netlist.links.append(
-            LinkSpec(
-                instance=f"link_{link_id}",
-                src_instance=src,
-                src_port=out_port.get((u, v), 0),
-                dst_instance=dst,
-                dst_port=in_port.get((u, v), 0),
-                flit_width_bits=tech.flit_width_bits,
-                length_mm=round(float(length), 3),
-                pipeline_stages=pipeline_stages_for_length(float(length)),
+        # One pipelined link instance per physical channel.
+        for channel in range(int(data.get("mult", 1))):
+            netlist.links.append(
+                LinkSpec(
+                    instance=f"link_{link_id}",
+                    src_instance=src,
+                    src_port=out_port.get((u, v), 0) + channel,
+                    dst_instance=dst,
+                    dst_port=in_port.get((u, v), 0) + channel,
+                    flit_width_bits=tech.flit_width_bits,
+                    length_mm=round(float(length), 3),
+                    pipeline_stages=pipeline_stages_for_length(float(length)),
+                )
             )
-        )
-        link_id += 1
+            link_id += 1
 
     netlist.validate()
     return netlist

@@ -58,6 +58,58 @@ class TestMapAndSelect:
         with pytest.raises(SystemExit):
             main(["select", "--app", "doom"])
 
+    def test_map_requires_topology_or_file(self, capsys):
+        assert main(["map", "--app", "dsp"]) == 1
+        assert "--topology" in capsys.readouterr().err
+
+
+class TestSynthesize:
+    def test_synthesize_dsp(self, capsys):
+        assert main(["synthesize", "--app", "dsp"]) == 0
+        out = capsys.readouterr().out
+        assert "syn-" in out
+        assert "best:" in out
+
+    def test_synthesize_save_and_reuse(self, capsys, tmp_path):
+        path = tmp_path / "fabric.json"
+        assert main([
+            "synthesize", "--app", "vopd", "--save-topology", str(path),
+            "--strategies", "greedy", "--concentrations", "4",
+            "--degrees", "4",
+        ]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        # The saved fabric maps and generates without re-synthesis.
+        assert main([
+            "map", "--app", "vopd", "--topology-file", str(path),
+        ]) == 0
+        assert "assignment:" in capsys.readouterr().out
+        assert main([
+            "generate", "--app", "vopd", "--topology-file", str(path),
+        ]) == 0
+        assert "sc_main" in capsys.readouterr().out
+
+    def test_select_synthesize_races_library(self, capsys):
+        assert main([
+            "select", "--app", "vopd", "--synthesize", "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mesh-3x4" in out  # library still in the table
+        assert "syn-" in out      # synthesized candidates race it
+
+    def test_select_topology_file_joins_library(self, capsys, tmp_path):
+        path = tmp_path / "fabric.json"
+        assert main([
+            "synthesize", "--app", "dsp", "--save-topology", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "select", "--app", "dsp", "--capacity", "1000",
+            "--topology-file", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "butterfly" in out and "syn-" in out
+
 
 class TestSimulateAndGenerate:
     def test_simulate(self, capsys):

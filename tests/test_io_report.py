@@ -11,9 +11,13 @@ from repro.floorplan.lp import floorplan_mapping
 from repro.io import (
     core_graph_from_dict,
     core_graph_to_dict,
+    custom_topology_from_dict,
+    custom_topology_to_dict,
     load_core_graph,
+    load_topology,
     save_core_graph,
     save_selection,
+    save_topology,
     selection_to_dict,
 )
 from repro.report import (
@@ -62,6 +66,67 @@ class TestCoreGraphIO:
         payload = json.loads(path.read_text())
         assert payload["name"] == "tiny"
         assert len(payload["flows"]) == 4
+
+
+class TestTopologyIO:
+    def _fabric(self):
+        from repro.topology.custom import CustomTopology
+
+        return CustomTopology(
+            name="fab",
+            slot_switch=[0, 0, 1, 2, 2],
+            links=[(0, 1), (0, 1), (1, 2)],
+            positions={0: (0.0, 0.0), 1: (1.0, 0.0), 2: (2.0, 1.0)},
+        )
+
+    def test_round_trip_preserves_everything(self):
+        topo = self._fabric()
+        clone = custom_topology_from_dict(custom_topology_to_dict(topo))
+        assert clone.name == topo.name
+        assert clone.slot_switch == topo.slot_switch
+        assert clone.link_multiplicity() == topo.link_multiplicity()
+        assert clone.switch_positions() == topo.switch_positions()
+
+    def test_file_round_trip_re_evaluates_identically(
+        self, tiny_app, tmp_path
+    ):
+        """A saved synthesized fabric reloads and re-evaluates to the
+        exact numbers of the original — no synthesis re-run needed."""
+        from repro.synthesis import SynthesisConfig, synthesize_topologies
+
+        result = synthesize_topologies(
+            tiny_app,
+            config=SynthesisConfig(
+                strategies=("greedy",),
+                concentrations=(2,),
+                max_switch_degrees=(4,),
+            ),
+        )
+        best = result.best
+        assert best is not None
+        path = tmp_path / "fabric.json"
+        save_topology(best.topology, path)
+        clone = load_topology(path)
+        ev = map_onto(tiny_app, clone, routing="MP", objective="hops")
+        assert ev.avg_hops == best.evaluation.avg_hops
+        assert ev.power_mw == best.evaluation.power_mw
+        assert ev.max_link_load == best.evaluation.max_link_load
+
+    def test_missing_field_rejected(self):
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            custom_topology_from_dict({"name": "x", "links": []})
+
+    def test_default_positions_allowed(self):
+        clone = custom_topology_from_dict(
+            {
+                "name": "bare",
+                "slot_switch": [0, 1],
+                "links": [{"a": 0, "b": 1}],
+            }
+        )
+        assert clone.num_slots == 2
 
 
 class TestSelectionIO:
