@@ -17,7 +17,14 @@ Commands mirror the tool's phases and the paper's experiments:
   ``--rate`` (Figures 8(b), 10(c)), or a full engine-parallel campaign
   with ``--rates``/``--patterns``/``--seeds``/``--jobs`` (latency–
   throughput curves with saturation detection);
-* ``generate`` — phase-3 SystemC generation (Figure 11).
+* ``generate`` — phase-3 SystemC generation (Figure 11);
+* ``serve`` / ``submit`` — the async design service and its client:
+  concurrent JSON requests against one warm, optionally persistent,
+  evaluation cache (``docs/SERVICE_API.md``).
+
+Engine-backed commands accept ``--cache SPEC`` (``sqlite:PATH`` /
+``dir:PATH``) to persist evaluations across runs — a warm store answers
+repeated work without recomputing, with bit-identical results.
 """
 
 from __future__ import annotations
@@ -74,6 +81,13 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
         "--jobs", type=int, default=1, metavar="N",
         help="parallel worker processes (1 = serial, 0 = one per CPU); "
         "results are identical to the serial run",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="SPEC",
+        help="persistent evaluation-cache backend: 'sqlite:PATH' or "
+        "'dir:PATH' (default: in-memory). A warm store skips "
+        "evaluations from earlier runs; results are identical either "
+        "way",
     )
 
 
@@ -195,6 +209,7 @@ def cmd_select(args) -> int:
             generate=False,
             jobs=args.jobs,
             synthesize=synthesize,
+            cache_backend=args.cache,
         )
         print(report.summary())
         if args.save_topology:
@@ -208,6 +223,7 @@ def cmd_select(args) -> int:
         constraints=_constraints(args),
         jobs=args.jobs,
         synthesize=synthesize,
+        cache_backend=args.cache,
     )
     if args.markdown:
         from repro.report import selection_to_markdown
@@ -243,6 +259,7 @@ def cmd_synthesize(args) -> int:
         objective=args.objective,
         constraints=_constraints(args),
         jobs=args.jobs,
+        cache_backend=args.cache,
     )
     print(
         f"synthesized candidates for {app.name} "
@@ -267,7 +284,7 @@ def cmd_synthesize(args) -> int:
 def cmd_explore(args) -> int:
     app = _load_app(args)
     topology = make_topology(args.topology, app.num_cores)
-    engine = ExplorationEngine(jobs=args.jobs)
+    engine = ExplorationEngine(jobs=args.jobs, cache_backend=args.cache)
     print(f"minimum link bandwidth per routing function on {topology.name}:")
     sweep = minimum_bandwidth_per_routing(app, topology, engine=engine)
     for code, value in sweep.items():
@@ -375,6 +392,7 @@ def _cmd_simulate(args) -> int:
         assignment=assignment,
         config=config,
         jobs=args.jobs,
+        cache_backend=args.cache,
     )
     if args.markdown:
         from repro.report import campaign_to_markdown
@@ -401,6 +419,7 @@ def cmd_generate(args) -> int:
         constraints=_constraints(args),
         topologies=topologies,
         jobs=args.jobs,
+        cache_backend=args.cache,
     )
     print(report.summary())
     if args.output and report.systemc is not None:
@@ -410,6 +429,69 @@ def cmd_generate(args) -> int:
     elif report.systemc is not None:
         print(report.systemc)
     return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import DesignService
+
+    service = DesignService(
+        jobs=args.jobs,
+        cache_backend=args.cache,
+        batch_window_s=args.batch_window,
+    )
+    backend = service.engine.cache.backend
+    print(
+        f"design service on {args.host}:{args.port} "
+        f"(jobs={args.jobs}, cache={getattr(backend, 'name', 'memory')})",
+        file=sys.stderr,
+    )
+    try:
+        asyncio.run(service.serve(args.host, args.port))
+    except KeyboardInterrupt:
+        print("design service stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from repro.service import submit
+
+    if args.file:
+        with open(args.file, encoding="utf-8") as handle:
+            raw = handle.read()
+    else:
+        raw = sys.stdin.read()
+    raw = raw.strip()
+    if not raw:
+        raise ReproError("no requests given (pass --file or pipe JSON in)")
+    try:
+        # Accept one JSON value (object or array of objects) or
+        # JSON-lines, the same format the wire protocol uses.
+        if raw.lstrip().startswith(("[", "{")) and "\n{" not in raw:
+            parsed = json.loads(raw)
+            payloads = parsed if isinstance(parsed, list) else [parsed]
+        else:
+            payloads = [
+                json.loads(line) for line in raw.splitlines() if line.strip()
+            ]
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"invalid request JSON: {exc}") from None
+    try:
+        responses = submit(payloads, host=args.host, port=args.port)
+    except OSError as exc:
+        raise ReproError(
+            f"cannot reach the design service at {args.host}:{args.port} "
+            f"({exc}); start one with 'sunmap serve'"
+        ) from None
+    failures = 0
+    for response in responses:
+        print(json.dumps(response, indent=None if args.compact else 2))
+        if not response.get("ok"):
+            failures += 1
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -553,6 +635,37 @@ def build_parser() -> argparse.ArgumentParser:
         "running library selection",
     )
     p.add_argument("--output", "-o", default=None)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the async design service (JSON requests over TCP; "
+        "see docs/SERVICE_API.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787)
+    p.add_argument(
+        "--batch-window", type=float, default=0.005, metavar="SECONDS",
+        help="straggler window for merging concurrent requests into "
+        "one engine pass (0 disables the wait)",
+    )
+    _add_jobs(p)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit design requests to a running service and print "
+        "the responses",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787)
+    p.add_argument(
+        "--file", "-f", default=None, metavar="PATH",
+        help="JSON request file: one object, an array, or JSON-lines "
+        "(default: read stdin)",
+    )
+    p.add_argument(
+        "--compact", action="store_true",
+        help="one response per line instead of pretty-printed JSON",
+    )
     return parser
 
 
@@ -566,6 +679,8 @@ _COMMANDS = {
     "explore": cmd_explore,
     "simulate": cmd_simulate,
     "generate": cmd_generate,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
 }
 
 

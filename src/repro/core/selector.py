@@ -125,6 +125,7 @@ def select_topology(
     jobs: int = 1,
     engine: ExplorationEngine | None = None,
     synthesize=None,
+    cache_backend=None,
 ) -> SelectionResult:
     """Map onto every library topology and choose the best.
 
@@ -138,6 +139,9 @@ def select_topology(
             identical to the serial path regardless of ``jobs``.
         engine: explicit engine (overrides ``jobs``); pass the same
             engine across calls to reuse its evaluation cache.
+        cache_backend: persistent cache storage spec (e.g.
+            ``"sqlite:evals.db"``, ``"dir:.cache"``) for the engine
+            built when ``engine`` is not given.
         synthesize: race automatically synthesized custom fabrics
             against the library in the same table: a
             :class:`~repro.synthesis.SynthesisConfig`, or ``True`` for
@@ -165,7 +169,9 @@ def select_topology(
             "select_topology received an empty topologies list; pass None "
             "for the standard library or at least one topology instance"
         )
-    engine = engine or ExplorationEngine(jobs=jobs)
+    engine = engine or ExplorationEngine(
+        jobs=jobs, cache_backend=cache_backend
+    )
     selection = SelectionResult(
         objective_name=objective_name, routing_code=routing
     )

@@ -8,10 +8,21 @@ Public surface:
   the two design-space job kinds (mapping search, campaign measurement)
   and their shared outcome record;
 * :class:`EvaluationCache` — shared content-keyed result cache;
+* :class:`MemoryBackend` / :class:`SQLiteBackend` /
+  :class:`DirectoryBackend` — pluggable cache storage
+  (:func:`make_backend` builds one from a spec string); the persistent
+  backends carry warm results across processes and CI runs;
 * :func:`make_executor`, :class:`SerialExecutor`,
   :class:`ProcessExecutor` — the executor plugins.
 """
 
+from repro.engine.backends import (
+    CacheBackend,
+    DirectoryBackend,
+    MemoryBackend,
+    SQLiteBackend,
+    make_backend,
+)
 from repro.engine.cache import CacheStats, EvaluationCache
 from repro.engine.engine import ExplorationEngine
 from repro.engine.executors import (
@@ -29,16 +40,21 @@ from repro.engine.jobs import (
 )
 
 __all__ = [
+    "CacheBackend",
     "CacheStats",
+    "DirectoryBackend",
     "EvaluationCache",
     "EvaluationJob",
     "ExplorationEngine",
     "JobResult",
+    "MemoryBackend",
     "ProcessExecutor",
+    "SQLiteBackend",
     "SerialExecutor",
     "SimulationJob",
     "execute_job",
     "execute_simulation_job",
+    "make_backend",
     "make_executor",
     "run_job",
 ]

@@ -6,6 +6,12 @@ e.g. a ``select`` after an ``explore`` on the same application, or the
 unchanged topologies when only one library entry was edited. The cache
 keys on content fingerprints (:mod:`repro.engine.fingerprint`), so a hit
 means "bit-identical work", never "same object".
+
+Storage is pluggable (:mod:`repro.engine.backends`): the default is the
+original in-process dict (:class:`~repro.engine.backends.MemoryBackend`,
+now with LRU eviction), while the SQLite and directory backends persist
+results across processes and CI runs — the substrate of the design
+service's warm starts (:mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -14,30 +20,39 @@ from dataclasses import dataclass, field
 from threading import Lock
 from typing import TYPE_CHECKING
 
+from repro.engine.backends import CacheBackend, MemoryBackend
+
 if TYPE_CHECKING:  # break the jobs -> core -> memo -> cache cycle
     from repro.engine.jobs import JobResult
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one cache (reported by benchmarks/CLI)."""
+    """Hit/miss/eviction counters for one cache (reported by CLI/benchmarks)."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
+        """Total number of ``get`` calls."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
         return self.hits / self.lookups if self.lookups else 0.0
 
     def __str__(self) -> str:
-        return (
+        """Compact ``hits/lookups`` summary line."""
+        text = (
             f"{self.hits}/{self.lookups} hits "
             f"({self.hit_rate * 100:.0f}%)"
         )
+        if self.evictions:
+            text += f", {self.evictions} evicted"
+        return text
 
 
 #: Default cache bound: generous for any realistic sweep (a full
@@ -49,29 +64,49 @@ DEFAULT_MAX_ENTRIES = 1024
 
 @dataclass
 class EvaluationCache:
-    """In-memory result store keyed by :meth:`EvaluationJob.cache_key`.
+    """Result store keyed by :meth:`EvaluationJob.cache_key`.
 
     Thread-safe; shared by every run of the engine that owns it. Workers
     return results to the parent process, which stores them here, so the
     process executor populates the same cache the serial one does.
-    Oldest entries are evicted beyond ``max_entries`` (``None`` disables
-    the bound, ``0`` disables caching).
+
+    Storage is delegated to a :class:`~repro.engine.backends.CacheBackend`.
+    When none is given, a :class:`~repro.engine.backends.MemoryBackend`
+    bounded to ``max_entries`` is created (``None`` disables the bound,
+    ``0`` disables caching entirely); least-recently-used entries are
+    evicted beyond the bound and counted in :attr:`CacheStats.evictions`.
+    An explicit backend (e.g. a persistent SQLite or directory store)
+    manages its own capacity — ``max_entries`` then only retains its
+    ``0``-disables-caching meaning.
 
     The store is payload-agnostic: the engine keeps
     :class:`~repro.engine.jobs.JobResult` records in it, while the
     mapping search (:mod:`repro.core.memo`) memoizes raw
     :class:`~repro.core.evaluate.MappingEvaluation` objects keyed by
     assignment fingerprint.
+
+    ``write_only=True`` turns every lookup into a miss while still
+    persisting results — the design service's ``cache: "refresh"``
+    control, which recomputes and overwrites warm entries in place.
     """
 
     max_entries: int | None = DEFAULT_MAX_ENTRIES
     stats: CacheStats = field(default_factory=CacheStats)
-    _store: dict = field(default_factory=dict)
+    backend: CacheBackend | None = None
+    write_only: bool = False
     _lock: Lock = field(default_factory=Lock, repr=False)
 
+    def __post_init__(self):
+        """Create the default LRU memory backend when none was given."""
+        if self.backend is None:
+            self.backend = MemoryBackend(max_entries=self.max_entries)
+
     def get(self, key: tuple) -> JobResult | None:
+        """Return the cached result for ``key``, or ``None`` on a miss."""
         with self._lock:
-            result = self._store.get(key)
+            result = (
+                None if self.write_only else self.backend.get(key)
+            )
             if result is None:
                 self.stats.misses += 1
             else:
@@ -79,29 +114,27 @@ class EvaluationCache:
             return result
 
     def note_deduped(self) -> None:
-        """Reclassify the last lookup of a key as a hit: the engine found
-        the same key already queued in the current batch (``get`` had
-        counted it as a miss)."""
+        """Reclassify the last lookup of a key as a hit.
+
+        The engine found the same key already queued in the current
+        batch (``get`` had counted it as a miss).
+        """
         with self._lock:
             self.stats.hits += 1
             self.stats.misses -= 1
 
     def put(self, key: tuple, result: JobResult) -> None:
+        """Store ``result`` under ``key`` (a no-op when caching is off)."""
         if self.max_entries == 0:
             return  # caching disabled
         with self._lock:
-            if (
-                self.max_entries is not None
-                and key not in self._store
-                and len(self._store) >= self.max_entries
-            ):
-                # Drop the oldest entry (dict preserves insertion order).
-                self._store.pop(next(iter(self._store)))
-            self._store[key] = result
+            self.stats.evictions += self.backend.put(key, result)
 
     def __len__(self) -> int:
-        return len(self._store)
+        """Number of entries in the underlying store."""
+        return len(self.backend)
 
     def clear(self) -> None:
+        """Drop every stored entry (counters are preserved)."""
         with self._lock:
-            self._store.clear()
+            self.backend.clear()

@@ -22,6 +22,7 @@ from itertools import product
 from repro.core.constraints import Constraints
 from repro.core.coregraph import CoreGraph
 from repro.core.mapper import MapperConfig
+from repro.engine.backends import make_backend
 from repro.engine.cache import EvaluationCache
 from repro.engine.executors import Executor, make_executor
 from repro.engine.jobs import EvaluationJob, JobResult, SimulationJob, run_job
@@ -40,6 +41,12 @@ class ExplorationEngine:
         cache: shared evaluation cache; a private one is created when not
             given. Pass one engine (or one cache) around to reuse results
             across selection runs, sweeps and fallback escalations.
+        cache_backend: storage behind the private cache when ``cache`` is
+            not given — a :class:`~repro.engine.backends.CacheBackend`
+            instance or a :func:`~repro.engine.backends.make_backend`
+            spec string (``"sqlite:results.db"``, ``"dir:.cache"``).
+            Persistent backends make warm results survive the process:
+            a second run of the same sweep performs zero evaluations.
     """
 
     def __init__(
@@ -47,10 +54,18 @@ class ExplorationEngine:
         jobs: int = 1,
         executor: Executor | None = None,
         cache: EvaluationCache | None = None,
+        cache_backend=None,
     ):
+        """Build the engine (see the class docstring for the knobs)."""
         self.executor = executor or make_executor(jobs)
-        # Not `cache or ...`: an empty cache is falsy (it has __len__).
-        self.cache = cache if cache is not None else EvaluationCache()
+        if cache is None:
+            # Not `cache or ...`: an empty cache is falsy (it has __len__).
+            cache = (
+                EvaluationCache()
+                if cache_backend is None
+                else EvaluationCache(backend=make_backend(cache_backend))
+            )
+        self.cache = cache
 
     # ------------------------------------------------------------------
     # core execution

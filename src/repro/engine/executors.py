@@ -30,6 +30,7 @@ class Executor(Protocol):
     def run(
         self, fn: JobFn, indexed_jobs: IndexedJobs
     ) -> Iterator[tuple[int, JobResult]]:
+        """Yield ``(submission_index, result)`` pairs in any order."""
         ...
 
 
@@ -41,6 +42,7 @@ class SerialExecutor:
     def run(
         self, fn: JobFn, indexed_jobs: IndexedJobs
     ) -> Iterator[tuple[int, JobResult]]:
+        """Execute each job inline and yield its result immediately."""
         for index, job in indexed_jobs:
             yield index, fn(job)
 
@@ -56,6 +58,7 @@ class ProcessExecutor:
     name = "process"
 
     def __init__(self, max_workers: int | None = None):
+        """Create the executor (``None`` = one worker per CPU)."""
         if max_workers is not None and max_workers < 1:
             raise ReproError("process executor needs at least one worker")
         self.max_workers = max_workers or os.cpu_count() or 1
@@ -63,6 +66,7 @@ class ProcessExecutor:
     def run(
         self, fn: JobFn, indexed_jobs: IndexedJobs
     ) -> Iterator[tuple[int, JobResult]]:
+        """Yield results as workers finish them (completion order)."""
         indexed = list(indexed_jobs)
         if not indexed:
             return

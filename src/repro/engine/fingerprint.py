@@ -94,12 +94,14 @@ def sim_config_fingerprint(sim_config) -> str:
 
 
 def constraints_fingerprint(constraints: Constraints | None) -> str:
+    """Fingerprint of a constraints set (``None`` = the defaults)."""
     if constraints is None:
         constraints = Constraints()
     return _digest(repr(_dataclass_key(constraints)))
 
 
 def config_fingerprint(config: MapperConfig | None) -> str:
+    """Fingerprint of a mapper config (``None`` = the defaults)."""
     if config is None:
         config = MapperConfig()
     return _digest(repr(_dataclass_key(config)))

@@ -134,8 +134,11 @@ def _error_class_by_name(name: str) -> type:
 
 
 def hash_seed(key: tuple) -> int:
-    """Derive a 32-bit seed from a cache key, without Python's randomized
-    ``hash`` (must match across worker processes)."""
+    """Derive a 32-bit seed from a cache key.
+
+    Uses SHA-256 rather than Python's randomized ``hash`` (seeds must
+    match across worker processes).
+    """
     digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
     return int(digest[:8], 16)
 
@@ -164,6 +167,7 @@ class JobResult:
 
     @property
     def ok(self) -> bool:
+        """Whether the job produced a result (no captured error)."""
         return self.error is None
 
     @property
@@ -272,9 +276,12 @@ class SimulationJob:
         return hash_seed(self.cache_key())
 
     def pinned(self, key: tuple) -> "SimulationJob":
-        """No-op for simulation jobs: every seed the measurement uses is
-        already explicit in the job's content, so there is nothing to
-        pin before handing the job to an executor."""
+        """No-op for simulation jobs.
+
+        Every seed the measurement uses is already explicit in the
+        job's content, so there is nothing to pin before handing the
+        job to an executor.
+        """
         return self
 
 
@@ -377,8 +384,10 @@ class SynthesisJob:
         return hash_seed(self.cache_key())
 
     def pinned(self, key: tuple) -> "SynthesisJob":
-        """Copy with the content-derived seed made explicit (see
-        :meth:`EvaluationJob.pinned`)."""
+        """Copy with the content-derived seed made explicit.
+
+        See :meth:`EvaluationJob.pinned`.
+        """
         if self.seed is not None:
             return self
         return replace(self, seed=hash_seed(key))

@@ -44,3 +44,17 @@ class SimulationError(ReproError):
 
 class GenerationError(ReproError):
     """Raised when SystemC generation is asked for an incomplete design."""
+
+
+class ServiceError(ReproError):
+    """Raised for design-service failures (server setup, transport)."""
+
+
+class ContractError(ServiceError):
+    """Raised when a design request violates the JSON contract.
+
+    The message names the offending field path and constraint, so
+    clients can fix the request without reading server logs; the server
+    maps this to an ``invalid-request`` error envelope instead of
+    crashing the connection.
+    """

@@ -1,0 +1,191 @@
+"""Request dedup and cross-request batching for the design service.
+
+Two mechanisms turn N concurrent design requests into less-than-N
+engine work, both without changing a single result bit:
+
+* :class:`InFlightTable` — *request-level* dedup. Identical requests
+  (same normalized contract fingerprint) that overlap in time share one
+  computation: the first becomes the owner, the rest await its future.
+  This is the request-granularity analogue of the engine's in-batch
+  job dedup, and it is what makes a thundering herd of identical
+  queries cost one evaluation pass.
+
+* :class:`BatchingEngine` — *job-level* batching. Request handlers run
+  in worker threads and each eventually calls ``engine.run(jobs)``;
+  concurrent calls rendezvous here, their job lists are concatenated
+  and executed as **one** pass of the inner
+  :class:`~repro.engine.engine.ExplorationEngine`. One pass means one
+  executor fan-out (a single process-pool dispatch instead of several
+  small ones) and engine-level dedup *across* requests: two different
+  requests sharing a candidate evaluate it once.
+
+Bit-identity: the engine reduces results by submission index and every
+job's seed is content-derived, so ``inner.run(a + b)`` sliced back into
+``a`` and ``b`` is element-wise identical to ``inner.run(a)`` and
+``inner.run(b)`` — batching composition can never leak into results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from threading import Event, Lock
+
+from repro.engine.engine import ExplorationEngine
+from repro.engine.jobs import JobResult
+
+
+class InFlightTable:
+    """Fingerprint → future map of requests currently being computed.
+
+    Single-threaded by design: all calls happen on the event-loop
+    thread (the compute itself runs in a worker thread, but joining,
+    resolving and rejecting are loop-side), so no lock is needed.
+    """
+
+    def __init__(self):
+        """Create an empty table."""
+        self._futures: dict[str, asyncio.Future] = {}
+        #: Requests that joined an in-flight computation instead of
+        #: starting their own (asserted by the dedup tests).
+        self.deduped = 0
+
+    def join(self, fingerprint: str) -> tuple[asyncio.Future, bool]:
+        """Return ``(future, owner)`` for a request fingerprint.
+
+        The first caller for a fingerprint becomes the owner
+        (``owner=True``): it must compute the result and call
+        :meth:`resolve` or :meth:`reject`. Later callers get the same
+        future with ``owner=False`` and simply await it.
+        """
+        future = self._futures.get(fingerprint)
+        if future is not None:
+            self.deduped += 1
+            return future, False
+        future = asyncio.get_running_loop().create_future()
+        self._futures[fingerprint] = future
+        return future, True
+
+    def resolve(self, fingerprint: str, result) -> None:
+        """Deliver the owner's result to every awaiter and retire the entry."""
+        future = self._futures.pop(fingerprint)
+        if not future.done():
+            future.set_result(result)
+
+    def reject(self, fingerprint: str, exc: BaseException) -> None:
+        """Deliver the owner's failure to every awaiter and retire the entry."""
+        future = self._futures.pop(fingerprint)
+        if not future.done():
+            future.set_exception(exc)
+            # Mark the exception as retrieved: when no follower joined,
+            # nobody awaits this future and asyncio would otherwise log
+            # "exception was never retrieved" at GC time.
+            future.exception()
+
+    def __len__(self) -> int:
+        """Number of computations currently in flight."""
+        return len(self._futures)
+
+
+class _Submission:
+    """One ``run()`` call waiting for its slice of a merged batch."""
+
+    __slots__ = ("jobs", "results", "exception", "done")
+
+    def __init__(self, jobs: list):
+        """Wrap one caller's job list ahead of the merge."""
+        self.jobs = jobs
+        self.results: list[JobResult] | None = None
+        self.exception: BaseException | None = None
+        self.done = Event()
+
+
+class BatchingEngine(ExplorationEngine):
+    """Engine façade that merges concurrent ``run()`` calls into one pass.
+
+    Behaves exactly like the wrapped engine — same cache, same executor,
+    same job-list builders — but when several threads call :meth:`run`
+    at once, their job lists are concatenated and executed as a single
+    inner pass. The leader (first submitter to win the flush lock) waits
+    ``window_s`` for stragglers, drains everything queued, runs it, and
+    hands each submission its own result slice.
+
+    ``window_s`` trades latency for batching: 0 disables the straggler
+    wait (merging then only happens while a previous pass is running,
+    which is still the common case under load).
+    """
+
+    def __init__(self, inner: ExplorationEngine, window_s: float = 0.005):
+        """Wrap ``inner``; do not submit to ``inner`` directly afterwards."""
+        self.inner = inner
+        self.window_s = window_s
+        self.executor = inner.executor
+        self.cache = inner.cache
+        self._mutex = Lock()          # guards _pending
+        self._flush_lock = Lock()     # held by the current leader
+        self._pending: list[_Submission] = []
+        #: Merged-pass counters (observability + batching tests).
+        self.batches = 0
+        self.batched_requests = 0
+        self.largest_batch = 0
+
+    def run(self, jobs) -> list[JobResult]:
+        """Execute a batch, possibly merged with concurrent callers' work.
+
+        Results are the caller's own submission slice, in its submission
+        order — indistinguishable from ``inner.run(jobs)``.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        submission = _Submission(jobs)
+        with self._mutex:
+            self._pending.append(submission)
+        while True:
+            # Try to become the leader. Losing just means another
+            # thread is flushing — our submission may be in its batch.
+            if self._flush_lock.acquire(blocking=False):
+                try:
+                    if not submission.done.is_set():
+                        if self.window_s > 0:
+                            time.sleep(self.window_s)
+                        self._drain()
+                finally:
+                    self._flush_lock.release()
+            # A submission enqueued between a leader's final drain and
+            # its lock release is picked up by this timed retry.
+            if submission.done.wait(timeout=0.05):
+                break
+        if submission.exception is not None:
+            raise submission.exception
+        return submission.results
+
+    def _drain(self) -> None:
+        """Run every queued submission as merged inner passes."""
+        while True:
+            with self._mutex:
+                batch, self._pending = self._pending, []
+            if not batch:
+                return
+            self._execute(batch)
+
+    def _execute(self, batch: list[_Submission]) -> None:
+        """One merged pass: concatenate, run, slice back, wake waiters."""
+        merged: list = []
+        for submission in batch:
+            merged.extend(submission.jobs)
+        self.batches += 1
+        self.batched_requests += len(batch)
+        self.largest_batch = max(self.largest_batch, len(batch))
+        try:
+            results = self.inner.run(merged)
+        except BaseException as exc:
+            for submission in batch:
+                submission.exception = exc
+                submission.done.set()
+            return
+        offset = 0
+        for submission in batch:
+            submission.results = results[offset:offset + len(submission.jobs)]
+            offset += len(submission.jobs)
+            submission.done.set()

@@ -1,0 +1,433 @@
+"""Async design service: many concurrent JSON requests, one warm engine.
+
+:class:`DesignService` is the front door the ROADMAP's service layer
+asks for: it accepts concurrent design requests (``select`` /
+``synthesize`` / ``campaign``), validates them against the contract
+(:mod:`repro.service.contract`), dedupes identical requests in flight
+(:class:`~repro.service.jobqueue.InFlightTable`), batches the engine
+jobs of overlapping requests into single executor passes
+(:class:`~repro.service.jobqueue.BatchingEngine`), and streams each
+response as soon as its computation lands — over a newline-delimited
+JSON TCP protocol (:meth:`DesignService.serve`) or directly in-process
+(:meth:`DesignService.handle`, which is also what the tests drive).
+
+Every handler calls the exact public flow a direct caller would —
+:func:`~repro.sunmap.run_sunmap`,
+:func:`~repro.synthesis.generate.synthesize_topologies`,
+:func:`~repro.simulation.campaign.run_campaign` — so a response's
+``result`` payload is byte-identical to the direct call, regardless of
+cache backend, batching or dedup (asserted in the service tests).
+
+Compute runs in worker threads (``asyncio.to_thread``), so the event
+loop stays free to accept, validate and dedupe requests while the
+engine grinds; the engine's own process executor supplies the real
+parallelism when the service is started with ``jobs > 1``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import logging
+from time import perf_counter
+
+from repro.apps import APPLICATIONS, load_application
+from repro.core.constraints import Constraints
+from repro.core.coregraph import CoreGraph
+from repro.core.greedy import initial_greedy_mapping
+from repro.core.selector import select_topology
+from repro.engine.cache import EvaluationCache
+from repro.engine.engine import ExplorationEngine
+from repro.errors import ContractError, ReproError
+from repro.io import (
+    core_graph_from_dict,
+    custom_topology_from_dict,
+    custom_topology_to_dict,
+    selection_to_dict,
+)
+from repro.service.contract import (
+    DesignRequest,
+    error_response,
+    parse_request,
+    DesignResponse,
+)
+from repro.service.jobqueue import BatchingEngine, InFlightTable
+from repro.simulation.campaign import CampaignConfig, run_campaign
+from repro.sunmap import run_sunmap
+from repro.synthesis.generate import SynthesisConfig, synthesize_topologies
+from repro.topology.library import make_topology
+
+log = logging.getLogger(__name__)
+
+
+class DesignService:
+    """One service instance: shared engine, in-flight table, counters.
+
+    Args:
+        engine: explicit inner engine (overrides ``jobs`` and
+            ``cache_backend``). The service wraps it in a
+            :class:`~repro.service.jobqueue.BatchingEngine`; do not
+            submit to it directly while the service is live.
+        jobs: engine worker processes (1 = in-thread serial execution).
+        cache_backend: evaluation-cache storage — a
+            :class:`~repro.engine.backends.CacheBackend` or a
+            :func:`~repro.engine.backends.make_backend` spec string.
+            With a persistent backend (``"sqlite:..."``/``"dir:..."``)
+            the service starts warm: requests already answered by any
+            earlier process cost zero evaluations.
+        batch_window_s: straggler window of the job batcher (see
+            :class:`~repro.service.jobqueue.BatchingEngine`).
+    """
+
+    def __init__(
+        self,
+        engine: ExplorationEngine | None = None,
+        jobs: int = 1,
+        cache_backend=None,
+        batch_window_s: float = 0.005,
+    ):
+        """Build the service (see the class docstring for the knobs)."""
+        inner = engine or ExplorationEngine(
+            jobs=jobs, cache_backend=cache_backend
+        )
+        self.engine = BatchingEngine(inner, window_s=batch_window_s)
+        self.inflight = InFlightTable()
+        self._ids = itertools.count(1)
+        #: Requests received (including invalid ones).
+        self.requests = 0
+        #: Requests actually computed (excludes in-flight dedup joins).
+        self.computed = 0
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def handle(self, payload: dict) -> dict:
+        """Process one raw request payload into a response dict.
+
+        The full lifecycle: validate → normalize → fingerprint → join or
+        own the in-flight computation → compute in a worker thread →
+        respond. Contract violations and captured domain errors come
+        back as error envelopes; only genuine bugs propagate.
+        """
+        self.requests += 1
+        try:
+            request = parse_request(payload)
+        except ContractError as exc:
+            raw_id = payload.get("id") if isinstance(payload, dict) else None
+            raw_kind = (
+                payload.get("kind") if isinstance(payload, dict) else None
+            )
+            return error_response(raw_kind, raw_id, exc).to_dict()
+        request_id = (
+            request.request_id
+            if request.request_id is not None
+            else f"req-{next(self._ids)}"
+        )
+        start = perf_counter()
+        deduped = False
+        try:
+            if request.cache == "default":
+                fingerprint = request.fingerprint()
+                future, owner = self.inflight.join(fingerprint)
+                if owner:
+                    try:
+                        result = await asyncio.to_thread(
+                            self._compute, request
+                        )
+                    except BaseException as exc:
+                        self.inflight.reject(fingerprint, exc)
+                        raise
+                    self.inflight.resolve(fingerprint, result)
+                else:
+                    deduped = True
+                    result = await future
+            else:
+                # refresh/bypass explicitly ask for a fresh computation,
+                # so they never join (or seed) the in-flight table.
+                result = await asyncio.to_thread(self._compute, request)
+        except ReproError as exc:
+            response = error_response(request.kind, request_id, exc)
+            response.stats = {"deduped": deduped}
+            return response.to_dict()
+        elapsed_ms = (perf_counter() - start) * 1000.0
+        return DesignResponse(
+            kind=request.kind,
+            request_id=request_id,
+            result=result,
+            stats={"elapsed_ms": round(elapsed_ms, 3), "deduped": deduped},
+        ).to_dict()
+
+    def _compute(self, request: DesignRequest) -> dict:
+        """Run one request's flow on a worker thread (blocking)."""
+        engine = self._engine_for(request.cache)
+        handler = {
+            "select": self._run_select,
+            "synthesize": self._run_synthesize,
+            "campaign": self._run_campaign,
+        }[request.kind]
+        result = handler(request.params, engine)
+        self.computed += 1
+        return result
+
+    def _engine_for(self, cache_control: str) -> ExplorationEngine:
+        """Engine honouring the request's cache-control value.
+
+        ``default`` shares the batching engine (warm reads, warm
+        writes, cross-request batching); ``bypass`` runs on a private
+        in-memory engine (no shared reads or writes); ``refresh`` runs
+        write-only over the shared backend, overwriting warm entries
+        with freshly computed — bit-identical — results.
+        """
+        if cache_control == "default":
+            return self.engine
+        if cache_control == "bypass":
+            return ExplorationEngine(executor=self.engine.executor)
+        return ExplorationEngine(
+            executor=self.engine.executor,
+            cache=EvaluationCache(
+                backend=self.engine.cache.backend, write_only=True
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # per-kind handlers (each is the direct public flow, nothing more)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _load_app(params: dict) -> CoreGraph:
+        """Resolve the request's application reference."""
+        if "core_graph" in params:
+            return core_graph_from_dict(params["core_graph"])
+        name = params["app"]
+        if name not in APPLICATIONS:
+            raise ContractError(
+                f"$.params.app: unknown application {name!r}; built-ins: "
+                f"{sorted(APPLICATIONS)}"
+            )
+        return load_application(name)
+
+    def _run_select(self, params: dict, engine: ExplorationEngine) -> dict:
+        """``select``: the paper's phase-1/2 flow via :func:`run_sunmap`."""
+        app = self._load_app(params)
+        constraints = Constraints(
+            link_capacity_mb_s=params["link_capacity_mb_s"]
+        )
+        synthesize = params["synthesize"] or None
+        if params["fallback"]:
+            report = run_sunmap(
+                app,
+                routing=params["routing"],
+                objective=params["objective"],
+                constraints=constraints,
+                generate=False,
+                synthesize=synthesize,
+                engine=engine,
+            )
+            selection = report.selection
+            attempted = report.attempted_routings
+        else:
+            selection = select_topology(
+                app,
+                routing=params["routing"],
+                objective=params["objective"],
+                constraints=constraints,
+                synthesize=synthesize,
+                engine=engine,
+            )
+            attempted = [params["routing"]]
+        return {
+            "application": app.name,
+            "attempted_routings": attempted,
+            "selection": selection_to_dict(selection),
+        }
+
+    def _run_synthesize(
+        self, params: dict, engine: ExplorationEngine
+    ) -> dict:
+        """``synthesize``: custom-fabric generation + ranking."""
+        app = self._load_app(params)
+        constraints = Constraints(
+            link_capacity_mb_s=params["link_capacity_mb_s"]
+        )
+        config = SynthesisConfig(
+            strategies=tuple(params["strategies"]),
+            concentrations=tuple(params["concentrations"]),
+            max_switch_degrees=tuple(params["max_switch_degrees"]),
+            max_candidates=params["max_candidates"],
+        )
+        result = synthesize_topologies(
+            app,
+            config=config,
+            routing=params["routing"],
+            objective=params["objective"],
+            constraints=constraints,
+            engine=engine,
+        )
+        payload = result.to_dict()
+        best = result.best
+        payload["best_topology"] = (
+            None if best is None else custom_topology_to_dict(best.topology)
+        )
+        return payload
+
+    def _run_campaign(self, params: dict, engine: ExplorationEngine) -> dict:
+        """``campaign``: latency–throughput sweep of one mapped design."""
+        app = (
+            self._load_app(params)
+            if ("app" in params or "core_graph" in params)
+            else None
+        )
+        if "custom_topology" in params:
+            topology = custom_topology_from_dict(params["custom_topology"])
+        else:
+            cores = params.get(
+                "cores", None if app is None else app.num_cores
+            )
+            if cores is None:
+                raise ContractError(
+                    "$.params: a library 'topology' needs a size; add "
+                    "'cores', an application, or send 'custom_topology'"
+                )
+            topology = make_topology(params["topology"], cores)
+        # The campaign validates a mapped design; as in the CLI, the
+        # deterministic greedy phase-1 mapping stands in for a full
+        # search (submit a 'select' request for the optimized mapping).
+        assignment = (
+            None if app is None else initial_greedy_mapping(app, topology)
+        )
+        config = CampaignConfig(
+            rates=tuple(params["rates"]),
+            patterns=tuple(params["patterns"]),
+            seeds=tuple(params["seeds"]),
+            warmup=params["warmup"],
+            measure=params["measure"],
+            drain=params["drain"],
+        )
+        result = run_campaign(
+            topology,
+            core_graph=app,
+            assignment=assignment,
+            config=config,
+            engine=engine,
+        )
+        return result.to_dict()
+
+    # ------------------------------------------------------------------
+    # transport: newline-delimited JSON over TCP
+    # ------------------------------------------------------------------
+    async def handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Serve one client connection.
+
+        Each input line is an independent request processed as its own
+        task; response lines are written **as computations complete**,
+        not in request order — clients match them back by ``id``. This
+        is the streaming half of the contract: a batch of submitted
+        jobs trickles back per-job instead of blocking on the slowest.
+        """
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+
+        async def respond(raw: bytes) -> None:
+            """Handle one request line and stream its response out."""
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                response = error_response(
+                    None, None, ContractError(f"invalid JSON: {exc}")
+                ).to_dict()
+            else:
+                try:
+                    response = await self.handle(payload)
+                except Exception as exc:  # keep the connection alive
+                    log.exception("internal error handling request")
+                    response = error_response(
+                        payload.get("kind") if isinstance(payload, dict)
+                        else None,
+                        payload.get("id") if isinstance(payload, dict)
+                        else None,
+                        exc,
+                    ).to_dict()
+            async with write_lock:
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            if not line.strip():
+                continue
+            task = asyncio.create_task(respond(line))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError, asyncio.CancelledError):
+            # Every response is already written; a server shutdown
+            # cancelling this final handshake is not an error.
+            pass
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 8787
+    ) -> asyncio.base_events.Server:
+        """Bind and return the listening server (``port=0`` = ephemeral)."""
+        return await asyncio.start_server(self.handle_connection, host, port)
+
+    async def serve(self, host: str = "127.0.0.1", port: int = 8787) -> None:
+        """Serve requests until cancelled."""
+        server = await self.start(host, port)
+        sockets = ", ".join(
+            str(sock.getsockname()) for sock in server.sockets
+        )
+        log.info("design service listening on %s", sockets)
+        async with server:
+            await server.serve_forever()
+
+
+# ---------------------------------------------------------------------------
+# client helpers
+# ---------------------------------------------------------------------------
+async def submit_async(
+    payloads: list[dict], host: str = "127.0.0.1", port: int = 8787
+):
+    """Submit requests over one connection; yield responses as they land.
+
+    Responses arrive in completion order (the server streams them);
+    match them to requests by ``id``.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for payload in payloads:
+            writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+        for _ in payloads:
+            line = await reader.readline()
+            if not line:
+                raise ReproError(
+                    "server closed the connection before answering every "
+                    "request"
+                )
+            yield json.loads(line)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+
+def submit(
+    payloads: list[dict], host: str = "127.0.0.1", port: int = 8787
+) -> list[dict]:
+    """Blocking :func:`submit_async` wrapper (completion-order list)."""
+    async def _collect() -> list[dict]:
+        return [r async for r in submit_async(payloads, host, port)]
+
+    return asyncio.run(_collect())

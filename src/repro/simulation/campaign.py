@@ -349,6 +349,7 @@ def run_campaign(
     config: CampaignConfig | None = None,
     engine: ExplorationEngine | None = None,
     jobs: int = 1,
+    cache_backend=None,
 ) -> CampaignResult:
     """Sweep a topology across patterns, rates and seeds.
 
@@ -365,6 +366,9 @@ def run_campaign(
             engine to share its evaluation cache across phases.
         jobs: parallel worker processes (1 = serial); the result is
             bit-identical regardless of ``jobs``.
+        cache_backend: persistent cache storage spec (e.g.
+            ``"sqlite:evals.db"``) for the engine built when ``engine``
+            is not given; warm campaign points skip simulation.
 
     Raises:
         SimulationError: invalid config, or ``"app"`` swept without a
@@ -379,7 +383,9 @@ def run_campaign(
             "and mapping were given; pass core_graph= and assignment=, "
             "or drop 'app' from CampaignConfig.patterns"
         )
-    engine = engine or ExplorationEngine(jobs=jobs)
+    engine = engine or ExplorationEngine(
+        jobs=jobs, cache_backend=cache_backend
+    )
     job_list = campaign_jobs(
         topology, config, core_graph=core_graph, assignment=assignment
     )

@@ -106,6 +106,7 @@ def run_sunmap(
     jobs: int = 1,
     engine: ExplorationEngine | None = None,
     synthesize=None,
+    cache_backend=None,
 ) -> SunmapReport:
     """Run the full SUNMAP flow on an application.
 
@@ -128,6 +129,10 @@ def run_sunmap(
         jobs: parallel worker processes for the selection and simulation
             phases (1 = serial); the report is identical regardless of
             ``jobs``.
+        cache_backend: persistent evaluation-cache storage (a
+            :func:`~repro.engine.backends.make_backend` spec such as
+            ``"sqlite:evals.db"``) for the engine built when ``engine``
+            is not given; warm results skip evaluation, bit-identically.
         engine: explicit exploration engine (overrides ``jobs``); its
             evaluation cache is reused by any further calls made with
             the same engine (each fallback attempt uses a different
@@ -148,7 +153,9 @@ def run_sunmap(
                 "instance"
             )
     estimator = estimator or NetworkEstimator()
-    engine = engine or ExplorationEngine(jobs=jobs)
+    engine = engine or ExplorationEngine(
+        jobs=jobs, cache_backend=cache_backend
+    )
     attempted: list[str] = []
     selection: SelectionResult | None = None
     for code in (routing, *[c for c in routing_fallbacks if c != routing]):

@@ -152,6 +152,18 @@ class SynthesisResult:
             rows.append(row)
         return rows
 
+    def to_dict(self) -> dict:
+        """JSON-able form (used by reports and bit-identity checks)."""
+        best = self.best
+        return {
+            "application": self.application,
+            "objective": self.objective_name,
+            "routing": self.routing_code,
+            "best": None if best is None else best.name,
+            "rows": self.table(),
+            "pruned": dict(sorted(self.pruned.items())),
+        }
+
     def format_table(self) -> str:
         """Human-readable ranking (CLI / examples)."""
         header = (
@@ -385,6 +397,7 @@ def synthesize_topologies(
     estimator: NetworkEstimator | None = None,
     jobs: int = 1,
     engine: ExplorationEngine | None = None,
+    cache_backend=None,
 ) -> SynthesisResult:
     """Generate and evaluate custom fabrics for an application.
 
@@ -392,11 +405,17 @@ def synthesize_topologies(
     mapping search per surviving candidate through the exploration
     engine → rank by objective cost. Results are bit-identical for any
     ``jobs`` count (content-derived seeds, submission-order reduction).
+
+    ``cache_backend`` gives the auto-built engine persistent storage
+    (a :func:`~repro.engine.backends.make_backend` spec); pass
+    ``engine=`` instead to share a cache across calls.
     """
     objective_name = (
         objective if isinstance(objective, str) else objective.name
     )
-    engine = engine or ExplorationEngine(jobs=jobs)
+    engine = engine or ExplorationEngine(
+        jobs=jobs, cache_backend=cache_backend
+    )
     candidates, job_list, pruned = synthesis_jobs(
         core_graph,
         config=config,
