@@ -1,0 +1,219 @@
+"""Benchmark: fault-injection campaigns — degraded vs pristine fabrics.
+
+Runs one application's mapped design through three campaign variants:
+
+1. the pristine fabric (baseline latency-throughput curves);
+2. ``k`` dead random inter-switch links per fault seed (routing
+   re-converges around every sampled non-partitioning fault set);
+3. degraded channels (half capacity, extra per-hop latency) on the same
+   fabric.
+
+The faulted campaign runs serially and through a process pool and must
+be bit-identical across executors (the fault axis ships through the
+engine like rates, patterns and seeds). The script reports the
+saturation shift — degraded and faulted fabrics must never saturate
+*later* than the pristine one — and archives the comparison under
+``benchmarks/out/``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py
+    PYTHONPATH=src python benchmarks/bench_faults.py --smoke --jobs 2
+    PYTHONPATH=src python benchmarks/bench_faults.py \
+        --app mpeg4 --faults 2 --fault-seeds 1 2 3
+
+``--smoke`` shrinks the sweep to a tiny vopd grid — the reduced budget
+CI uses to keep this script from rotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+import time
+
+from repro.apps import dsp_filter, mpeg4, network_processor, vopd
+from repro.core.greedy import initial_greedy_mapping
+from repro.engine import ExplorationEngine, make_executor
+from repro.faults import FaultedTopology, sample_degradations
+from repro.simulation.campaign import CampaignConfig, run_campaign
+from repro.topology.library import make_topology
+
+APPS = {
+    "vopd": vopd,
+    "mpeg4": mpeg4,
+    "dsp": dsp_filter,
+    "netproc": network_processor,
+}
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def run_once(topology, app, assignment, config, jobs):
+    """One campaign; returns (wall seconds, result)."""
+    engine = ExplorationEngine(executor=make_executor(jobs))
+    start = time.perf_counter()
+    result = run_campaign(
+        topology,
+        core_graph=app,
+        assignment=assignment,
+        config=config,
+        engine=engine,
+    )
+    return time.perf_counter() - start, result
+
+
+def fmt_saturation(result) -> str:
+    return ", ".join(
+        f"{p}: {('%g' % r) if r is not None else 'none'}"
+        for p, r in result.saturation_rates().items()
+    )
+
+
+def saturation_never_later(pristine, stressed) -> list[str]:
+    """Patterns where the stressed fabric saturates after the pristine
+    one (a physical impossibility — less capacity cannot buy headroom).
+    """
+    problems = []
+    base = pristine.saturation_rates()
+    hit = stressed.saturation_rates()
+    for pattern, rate in hit.items():
+        base_rate = base.get(pattern)
+        if base_rate is not None and (rate is None or rate > base_rate):
+            problems.append(
+                f"{pattern}: stressed saturation "
+                f"{rate if rate is not None else 'none'} later than "
+                f"pristine {base_rate:g}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--app", choices=sorted(APPS), default="vopd")
+    parser.add_argument("--topology", default="mesh")
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="parallel workers (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--rates", nargs="+", type=float,
+        default=[0.05, 0.1, 0.2, 0.35, 0.5],
+    )
+    parser.add_argument("--patterns", nargs="+", default=["app", "uniform"])
+    parser.add_argument("--seeds", nargs="+", type=int, default=[1])
+    parser.add_argument(
+        "--faults", type=int, default=2,
+        help="dead inter-switch links per fault variant",
+    )
+    parser.add_argument(
+        "--fault-seeds", nargs="+", type=int, default=[1, 2],
+        help="fault-sampling seeds (one deterministic fault set each)",
+    )
+    parser.add_argument("--measure", type=int, default=3000)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced budget for CI: tiny vopd grid, short runs",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.app, args.topology = "vopd", "mesh"
+        args.rates = [0.1, 0.4]
+        args.patterns = ["app"]
+        args.seeds = [1]
+        args.fault_seeds = args.fault_seeds[:2]
+        args.measure = 800
+
+    app = APPS[args.app]()
+    topology = make_topology(args.topology, app.num_cores)
+    assignment = initial_greedy_mapping(app, topology)
+    window = dict(
+        warmup=max(200, args.measure // 4),
+        measure=args.measure,
+        drain=max(400, args.measure // 2),
+    )
+    pristine_cfg = CampaignConfig(
+        rates=tuple(args.rates),
+        patterns=tuple(args.patterns),
+        seeds=tuple(args.seeds),
+        **window,
+    )
+    faulted_cfg = CampaignConfig(
+        rates=tuple(args.rates),
+        patterns=tuple(args.patterns),
+        seeds=tuple(args.seeds),
+        faults=args.faults,
+        fault_seeds=tuple(args.fault_seeds),
+        **window,
+    )
+
+    cpus = os.cpu_count() or 1
+    workers = args.jobs or cpus
+    print(
+        f"fault campaign: {app.name} on {topology.name} | "
+        f"k={args.faults} dead links x {len(args.fault_seeds)} fault "
+        f"seeds | {faulted_cfg.num_points} points | "
+        f"{cpus} CPUs, {workers} workers"
+    )
+
+    pristine_s, pristine = run_once(
+        topology, app, assignment, pristine_cfg, workers
+    )
+    print(f"pristine : {pristine_s:8.2f} s | {fmt_saturation(pristine)}")
+
+    serial_s, serial = run_once(topology, app, assignment, faulted_cfg, 1)
+    print(f"faulted  ({1} worker ): {serial_s:8.2f} s")
+    parallel_s, parallel = run_once(
+        topology, app, assignment, faulted_cfg, workers
+    )
+    print(f"faulted  ({workers} workers): {parallel_s:8.2f} s")
+    if serial.to_dict() != parallel.to_dict():
+        print("FAIL: parallel fault campaign differs from serial")
+        return 1
+    print(f"faulted results identical across executors | "
+          f"{fmt_saturation(serial)}")
+
+    degraded = FaultedTopology(
+        topology,
+        sample_degradations(
+            topology, args.faults, seed=args.fault_seeds[0],
+            cap_factor=0.5, extra_latency=1,
+        ),
+    )
+    degraded_s, degraded_result = run_once(
+        degraded, app, assignment, pristine_cfg, workers
+    )
+    print(
+        f"degraded : {degraded_s:8.2f} s | "
+        f"{fmt_saturation(degraded_result)}"
+    )
+
+    problems = saturation_never_later(pristine, serial)
+    problems += saturation_never_later(pristine, degraded_result)
+    if problems:
+        print("FAIL: stressed fabric saturated later than pristine:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print("saturation shift ok: faults never buy headroom")
+
+    lines = [
+        f"app: {app.name} | topology: {topology.name} | "
+        f"k={args.faults} | fault seeds {args.fault_seeds}",
+        f"pristine saturation: {fmt_saturation(pristine)}",
+        f"faulted  saturation: {fmt_saturation(serial)}",
+        f"degraded saturation: {fmt_saturation(degraded_result)}",
+        serial.summary(),
+    ]
+    OUT_DIR.mkdir(exist_ok=True)
+    artifact = OUT_DIR / "bench_faults.txt"
+    artifact.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print(f"artifact: {artifact}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -199,6 +199,10 @@ def cmd_select(args) -> int:
         topologies = standard_library(app.num_cores)
         topologies.append(load_topology(args.topology_file))
     synthesize = args.synthesize or None
+    if synthesize and args.fault_tolerance:
+        from repro.synthesis import SynthesisConfig
+
+        synthesize = SynthesisConfig(fault_tolerance=args.fault_tolerance)
     if args.fallback:
         report = run_sunmap(
             app,
@@ -251,6 +255,7 @@ def cmd_synthesize(args) -> int:
         concentrations=_csv(args.concentrations, int),
         max_switch_degrees=_csv(args.degrees, int),
         max_candidates=args.max_candidates,
+        fault_tolerance=args.fault_tolerance,
     )
     result = synthesize_topologies(
         app,
@@ -341,7 +346,17 @@ def _cmd_simulate(args) -> int:
     app = load_application(args.app)
     topology = make_topology(args.topology, app.num_cores)
     if args.rates is None:
-        # Single-point measurement (the original Figure 8(b) probe).
+        # Single-point measurement (the original Figure 8(b) probe),
+        # optionally on a degraded fabric (first fault seed only;
+        # campaign mode sweeps every seed).
+        if args.faults:
+            from repro.faults import FaultedTopology, sample_faults
+
+            fault_seed = (_csv(args.fault_seeds, int) or (1,))[0]
+            topology = FaultedTopology(
+                topology,
+                sample_faults(topology, args.faults, seed=fault_seed),
+            )
         pattern = args.pattern
         if pattern == "adversarial":
             pattern = adversarial_pattern(topology)
@@ -385,6 +400,8 @@ def _cmd_simulate(args) -> int:
         warmup=args.warmup,
         measure=args.cycles,
         drain=args.drain,
+        faults=args.faults,
+        fault_seeds=_csv(args.fault_seeds, int),
     )
     result = run_campaign(
         topology,
@@ -547,6 +564,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-topology", default=None, metavar="PATH",
         help="write the best feasible synthesized fabric as JSON",
     )
+    p.add_argument(
+        "--fault-tolerance", type=int, default=0, metavar="K",
+        help="with --synthesize: candidate fabrics stay connected "
+        "under any K dead inter-switch links (k-connectivity)",
+    )
 
     p = sub.add_parser(
         "synthesize",
@@ -576,6 +598,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-topology", default=None, metavar="PATH",
         help="write the best synthesized fabric as JSON (reload with "
         "map/select/generate --topology-file)",
+    )
+    p.add_argument(
+        "--fault-tolerance", type=int, default=0, metavar="K",
+        help="candidate fabrics stay connected under any K dead "
+        "inter-switch links (k-connectivity objective)",
     )
 
     p = sub.add_parser("explore", help="routing sweep + Pareto exploration")
@@ -612,6 +639,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--seeds", default="1", metavar="S1,S2,...",
         help="campaign traffic seeds; curves average across them",
+    )
+    p.add_argument(
+        "--faults", type=int, default=0, metavar="K",
+        help="dead random inter-switch links per fault variant "
+        "(0 = pristine fabric); single-point mode degrades with the "
+        "first fault seed, campaign mode sweeps every fault seed",
+    )
+    p.add_argument(
+        "--fault-seeds", default="1", metavar="S1,S2,...",
+        help="fault-sampling seeds: one deterministic non-partitioning "
+        "fault set per seed; campaign curves average across them",
     )
     p.add_argument(
         "--markdown", action="store_true",
@@ -698,6 +736,12 @@ def main(argv: list[str] | None = None) -> int:
         except Exception:
             pass
         return 0
+    except OSError as exc:
+        # Transport-level failures (service bind/connect, file I/O)
+        # deserve a one-line diagnosis, not a traceback. Ordered after
+        # BrokenPipeError, which is an OSError subclass.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -50,21 +50,37 @@ def topology_fingerprint(topology: Topology) -> str:
     identical connectivity (and even identical per-edge lengths) still
     floorplan differently, because the floorplanner groups blocks into
     columns by x coordinate.
+
+    Fault overlays are covered twice over: dead elements change the
+    node/edge lists themselves, and degraded channels append their
+    ``(cap_factor, extra_latency)`` to the edge tuple — only when
+    non-default, so every pristine fingerprint is byte-stable across
+    this change.
     """
     g = topology.graph
     nodes = sorted(
         (repr(n), tuple(round(c, 9) for c in topology.position(n)))
         for n in g.nodes
     )
-    edges = sorted(
-        (
+
+    def _edge_key(u, v, data) -> tuple:
+        key = (
             repr(u),
             repr(v),
             data.get("kind", ""),
             round(data.get("length", 0.0), 9),
             data.get("mult", 1),
         )
-        for u, v, data in g.edges(data=True)
+        degradation = (
+            round(data.get("cap_factor", 1.0), 9),
+            data.get("extra_latency", 0),
+        )
+        if degradation != (1.0, 0):
+            key += (degradation,)
+        return key
+
+    edges = sorted(
+        _edge_key(u, v, data) for u, v, data in g.edges(data=True)
     )
     payload = repr(
         (type(topology).__name__, topology.name, topology.num_slots, nodes,

@@ -25,6 +25,17 @@ class UnsupportedRoutingError(ReproError):
     """
 
 
+class UnroutableError(UnsupportedRoutingError):
+    """Raised when a fault set partitions a commodity's endpoints.
+
+    Subclasses :class:`UnsupportedRoutingError` so every existing "skip
+    this combination" handler (selector, engine job capture) treats a
+    partitioned fabric like any other unroutable pairing — but callers
+    that care can distinguish "routing function undefined here" from
+    "this fabric is physically severed".
+    """
+
+
 class MappingInfeasibleError(ReproError):
     """Raised when no feasible mapping exists for a topology.
 

@@ -1,0 +1,39 @@
+"""Fault injection and degraded-mode scenarios.
+
+Public surface:
+
+* :class:`FaultSet` — frozen value type naming dead links, dead
+  switches, and per-channel capacity/latency degradation.
+* :class:`FaultedTopology` — overlay applying a fault set to any
+  library or custom topology through the ordinary Topology interface.
+* :func:`sample_faults` / :func:`sample_switch_faults` /
+  :func:`sample_degradations` — deterministic samplers keyed by
+  ``(topology, k, seed)``.
+* :func:`link_resilience` / :func:`survives_link_faults` — Chen et
+  al.'s k-connectivity survivability check, used by the synthesis
+  fault-tolerance objective and its tests.
+* :func:`partitioned_pairs` — exact severed slot pairs of a (faulted)
+  topology; empty means every commodity is routable.
+"""
+
+from repro.faults.faultset import (
+    FaultSet,
+    link_resilience,
+    partitioned_pairs,
+    sample_degradations,
+    sample_faults,
+    sample_switch_faults,
+    survives_link_faults,
+)
+from repro.faults.overlay import FaultedTopology
+
+__all__ = [
+    "FaultSet",
+    "FaultedTopology",
+    "link_resilience",
+    "partitioned_pairs",
+    "sample_degradations",
+    "sample_faults",
+    "sample_switch_faults",
+    "survives_link_faults",
+]

@@ -29,6 +29,7 @@ from weakref import WeakKeyDictionary
 
 import networkx as nx
 
+from repro.errors import UnroutableError
 from repro.routing.loads import EdgeLoads
 from repro.topology.base import is_switch
 
@@ -92,7 +93,12 @@ def _unique_min_hop_path(graph: nx.DiGraph, src, dst) -> list | None:
         return per_graph[key]
     except KeyError:
         pass
-    first_two = list(islice(nx.all_shortest_paths(graph, src, dst), 2))
+    try:
+        first_two = list(islice(nx.all_shortest_paths(graph, src, dst), 2))
+    except nx.NetworkXNoPath:
+        raise UnroutableError(
+            f"no route from {src} to {dst}: endpoints are partitioned"
+        ) from None
     path = first_two[0] if len(first_two) == 1 else None
     per_graph[key] = path
     return path
@@ -135,7 +141,9 @@ def topology_routing_view(topology, src_slot: int, dst_slot: int):
 
 def _reconstruct(dist: dict, pred: dict, target) -> list:
     if target not in dist:
-        raise nx.NetworkXNoPath(f"No path to {target}.")
+        raise UnroutableError(
+            f"no route to {target}: endpoints are partitioned"
+        )
     path = [target]
     while (prev := pred.get(path[-1])) is not None:
         path.append(prev)

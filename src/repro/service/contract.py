@@ -85,6 +85,7 @@ PARAM_SCHEMAS = {
             },
             "fallback": {"type": "boolean"},
             "synthesize": {"type": "boolean"},
+            "fault_tolerance": {"type": "integer", "minimum": 0},
         },
     },
     "synthesize": {
@@ -110,6 +111,7 @@ PARAM_SCHEMAS = {
                 "items": {"type": "integer", "minimum": 1},
             },
             "max_candidates": {"type": "integer", "minimum": 1},
+            "fault_tolerance": {"type": "integer", "minimum": 0},
         },
     },
     "campaign": {
@@ -135,6 +137,11 @@ PARAM_SCHEMAS = {
             "warmup": {"type": "integer", "minimum": 0},
             "measure": {"type": "integer", "minimum": 1},
             "drain": {"type": "integer", "minimum": 0},
+            "faults": {"type": "integer", "minimum": 0},
+            "fault_seeds": {
+                "type": "array", "minItems": 1,
+                "items": {"type": "integer"},
+            },
         },
     },
 }
@@ -150,6 +157,7 @@ PARAM_DEFAULTS = {
         "link_capacity_mb_s": 500.0,
         "fallback": True,
         "synthesize": False,
+        "fault_tolerance": 0,
     },
     "synthesize": {
         "routing": "MP",
@@ -159,6 +167,7 @@ PARAM_DEFAULTS = {
         "concentrations": [2, 3, 4],
         "max_switch_degrees": [4, 6, 8],
         "max_candidates": 12,
+        "fault_tolerance": 0,
     },
     "campaign": {
         "rates": [0.05, 0.1, 0.2, 0.35, 0.5, 0.7],
@@ -167,6 +176,8 @@ PARAM_DEFAULTS = {
         "warmup": 500,
         "measure": 2000,
         "drain": 1500,
+        "faults": 0,
+        "fault_seeds": [1],
     },
 }
 

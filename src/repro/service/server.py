@@ -213,6 +213,10 @@ class DesignService:
             link_capacity_mb_s=params["link_capacity_mb_s"]
         )
         synthesize = params["synthesize"] or None
+        if synthesize and params["fault_tolerance"]:
+            synthesize = SynthesisConfig(
+                fault_tolerance=params["fault_tolerance"]
+            )
         if params["fallback"]:
             report = run_sunmap(
                 app,
@@ -254,6 +258,7 @@ class DesignService:
             concentrations=tuple(params["concentrations"]),
             max_switch_degrees=tuple(params["max_switch_degrees"]),
             max_candidates=params["max_candidates"],
+            fault_tolerance=params["fault_tolerance"],
         )
         result = synthesize_topologies(
             app,
@@ -302,6 +307,8 @@ class DesignService:
             warmup=params["warmup"],
             measure=params["measure"],
             drain=params["drain"],
+            faults=params["faults"],
+            fault_seeds=tuple(params["fault_seeds"]),
         )
         result = run_campaign(
             topology,

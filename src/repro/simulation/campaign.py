@@ -63,6 +63,16 @@ class CampaignConfig:
             defaults).
         warmup/measure/drain: the per-point measurement protocol (see
             :func:`~repro.simulation.stats.run_measurement`).
+        faults: dead random inter-switch links per fault variant
+            (0 = pristine fabric only). Each fault seed samples its own
+            non-partitioning fault set via
+            :func:`repro.faults.sample_faults` and the whole
+            rates × patterns × seeds sweep repeats on that degraded
+            fabric; curves average across fault seeds like they do
+            across traffic seeds.
+        fault_seeds: sampling seeds for the fault variants (ignored and
+            normalized to ``()`` when ``faults`` is 0, so pristine
+            configs compare equal however they were spelled).
         saturation_threshold: a point saturates when fewer than this
             fraction of measured packets is delivered…
         latency_blowup: …or when its average latency exceeds this
@@ -78,6 +88,8 @@ class CampaignConfig:
     drain: int = 1500
     flit_width_bits: int = 32
     clock_mhz: float = 500.0
+    faults: int = 0
+    fault_seeds: tuple[int, ...] = (1,)
     saturation_threshold: float = 0.9
     latency_blowup: float = 4.0
 
@@ -105,6 +117,20 @@ class CampaignConfig:
             raise SimulationError("campaign needs at least one seed")
         if len(set(self.seeds)) != len(self.seeds):
             raise SimulationError("campaign seeds must be unique")
+        if self.faults < 0:
+            raise SimulationError("campaign fault count must be >= 0")
+        if self.faults == 0:
+            object.__setattr__(self, "fault_seeds", ())
+        else:
+            object.__setattr__(
+                self, "fault_seeds", tuple(self.fault_seeds)
+            )
+            if not self.fault_seeds:
+                raise SimulationError(
+                    "campaign sweeps faults but has no fault seeds"
+                )
+            if len(set(self.fault_seeds)) != len(self.fault_seeds):
+                raise SimulationError("campaign fault seeds must be unique")
         if not 0 < self.saturation_threshold <= 1:
             raise SimulationError(
                 "saturation threshold must be in (0, 1]"
@@ -114,17 +140,27 @@ class CampaignConfig:
 
     @property
     def num_points(self) -> int:
-        return len(self.rates) * len(self.patterns) * len(self.seeds)
+        return (
+            len(self.rates)
+            * len(self.patterns)
+            * len(self.seeds)
+            * (len(self.fault_seeds) or 1)
+        )
 
 
 @dataclass(frozen=True)
 class CampaignPoint:
-    """One measured (pattern, rate, seed) sample."""
+    """One measured (pattern, rate, seed[, fault seed]) sample.
+
+    ``fault_seed`` names the fault variant the point ran on, or
+    ``None`` for the pristine fabric.
+    """
 
     pattern: str
     rate: float
     seed: int
     report: SimReport
+    fault_seed: int | None = None
 
 
 @dataclass(frozen=True)
@@ -167,9 +203,29 @@ def detect_saturation(
     A point saturates when its delivered fraction drops below
     ``threshold``, its latency is unbounded (no measured packet made it
     out), or its average latency exceeds ``blowup`` times the curve's
-    first finite latency (the zero-load baseline).
+    zero-load baseline — the first finite, *non-saturated* point (a
+    finite latency measured while delivery had already collapsed is a
+    congestion artifact, not a baseline).
+
+    Raises:
+        ValueError: the three sequences differ in length (a silent
+            ``zip`` truncation here would drop sweep points from the
+            saturation scan).
     """
-    base = next((v for v in latencies if math.isfinite(v)), None)
+    if not len(rates) == len(latencies) == len(delivered):
+        raise ValueError(
+            "detect_saturation needs equal-length rates/latencies/"
+            f"delivered, got {len(rates)}/{len(latencies)}/"
+            f"{len(delivered)}"
+        )
+    base = next(
+        (
+            lat
+            for lat, frac in zip(latencies, delivered)
+            if math.isfinite(lat) and frac >= threshold
+        ),
+        None,
+    )
     for rate, latency, frac in zip(rates, latencies, delivered):
         if frac < threshold or not math.isfinite(latency):
             return rate
@@ -183,12 +239,14 @@ class CampaignResult:
     """Everything one campaign produced.
 
     Attributes:
-        points: every measured sample, in sweep order (pattern-major,
-            then rate, then seed).
-        curves: per-pattern seed-averaged latency–throughput curves.
+        points: every measured sample, in sweep order (fault-variant
+            major, then pattern, rate, seed).
+        curves: per-pattern latency–throughput curves, averaged across
+            traffic seeds and fault seeds alike.
         switch_loads: per-pattern per-switch load histogram — flits
-            forwarded during the measurement window, summed over rates
-            and seeds (``{pattern: {switch_label: flits}}``).
+            forwarded during the measurement window, summed over rates,
+            seeds and fault variants (``{pattern: {switch_label:
+            flits}}``).
     """
 
     topology_name: str
@@ -206,19 +264,46 @@ class CampaignResult:
         }
 
     def to_dict(self) -> dict:
-        """JSON-able form (used by reports and bit-identity checks)."""
+        """JSON-able form (used by reports and bit-identity checks).
+
+        Fault keys (``config.faults``/``config.fault_seeds`` and the
+        per-point ``fault_seed``) appear only when the campaign swept
+        faults, so pristine campaign dictionaries are byte-identical to
+        what they were before the fault axis existed.
+        """
+        config_dict = {
+            "rates": list(self.config.rates),
+            "patterns": list(self.config.patterns),
+            "seeds": list(self.config.seeds),
+            "sim": asdict(self.config.sim or SimConfig()),
+            "warmup": self.config.warmup,
+            "measure": self.config.measure,
+            "drain": self.config.drain,
+        }
+        if self.config.faults:
+            config_dict["faults"] = self.config.faults
+            config_dict["fault_seeds"] = list(self.config.fault_seeds)
+
+        def _point_dict(p: CampaignPoint) -> dict:
+            entry = {
+                "pattern": p.pattern,
+                "rate": p.rate,
+                "seed": p.seed,
+                "avg_latency": p.report.avg_latency,
+                "p95_latency": p.report.p95_latency,
+                "delivered_fraction": p.report.delivered_fraction,
+                "throughput": p.report.throughput_flits_per_cycle,
+                "measured_packets": p.report.measured_packets,
+                "switch_loads": [list(sl) for sl in p.report.switch_loads],
+            }
+            if p.fault_seed is not None:
+                entry["fault_seed"] = p.fault_seed
+            return entry
+
         return {
             "topology": self.topology_name,
             "application": self.application,
-            "config": {
-                "rates": list(self.config.rates),
-                "patterns": list(self.config.patterns),
-                "seeds": list(self.config.seeds),
-                "sim": asdict(self.config.sim or SimConfig()),
-                "warmup": self.config.warmup,
-                "measure": self.config.measure,
-                "drain": self.config.drain,
-            },
+            "config": config_dict,
             "curves": {
                 pattern: {
                     "rates": list(curve.rates),
@@ -234,30 +319,23 @@ class CampaignResult:
                 pattern: dict(loads)
                 for pattern, loads in self.switch_loads.items()
             },
-            "points": [
-                {
-                    "pattern": p.pattern,
-                    "rate": p.rate,
-                    "seed": p.seed,
-                    "avg_latency": p.report.avg_latency,
-                    "p95_latency": p.report.p95_latency,
-                    "delivered_fraction": p.report.delivered_fraction,
-                    "throughput": p.report.throughput_flits_per_cycle,
-                    "measured_packets": p.report.measured_packets,
-                    "switch_loads": [list(sl) for sl in p.report.switch_loads],
-                }
-                for p in self.points
-            ],
+            "points": [_point_dict(p) for p in self.points],
         }
 
     def summary(self) -> str:
         """Human-readable curve tables plus saturation and hot switches."""
+        fault_note = (
+            f" x {len(self.config.fault_seeds)} fault variants "
+            f"(k={self.config.faults} dead links)"
+            if self.config.faults
+            else ""
+        )
         lines = [
             f"campaign: {self.application or '(synthetic)'} on "
             f"{self.topology_name} "
             f"({len(self.config.patterns)} patterns x "
             f"{len(self.config.rates)} rates x "
-            f"{len(self.config.seeds)} seeds)"
+            f"{len(self.config.seeds)} seeds{fault_note})"
         ]
         header = (
             f"{'pattern':<12}{'rate':>7}{'avg lat':>9}{'p95':>8}"
@@ -293,6 +371,38 @@ class CampaignResult:
         return "\n".join(lines)
 
 
+def campaign_fault_variants(
+    topology: Topology, config: CampaignConfig
+) -> list[tuple[int | None, Topology]]:
+    """The fabrics a campaign sweeps: ``(fault_seed, topology)`` pairs.
+
+    ``faults == 0`` yields the pristine topology alone (fault seed
+    ``None``); otherwise one deterministic, non-partitioning
+    :class:`~repro.faults.FaultedTopology` per fault seed. Sampling is a
+    pure function of (topology name, k, seed), so every caller — job
+    builder, result assembly, a jobs=N worker — reconstructs the
+    identical variants.
+
+    Raises:
+        TopologyError: a fault seed found no non-partitioning fault set
+            (e.g. more dead links requested than the fabric can lose).
+    """
+    if config.faults <= 0:
+        return [(None, topology)]
+    from repro.faults import FaultedTopology, sample_faults
+
+    return [
+        (
+            fault_seed,
+            FaultedTopology(
+                topology,
+                sample_faults(topology, config.faults, seed=fault_seed),
+            ),
+        )
+        for fault_seed in config.fault_seeds
+    ]
+
+
 def campaign_jobs(
     topology: Topology,
     config: CampaignConfig,
@@ -300,7 +410,12 @@ def campaign_jobs(
     assignment: dict[int, int] | None = None,
     active_slots: list[int] | None = None,
 ) -> list[SimulationJob]:
-    """The campaign's job list, in deterministic sweep order."""
+    """The campaign's job list, in deterministic sweep order.
+
+    Fault-variant major, then pattern, rate, seed — every fault variant
+    repeats the full pristine sweep on its degraded fabric, as ordinary
+    engine jobs (parallel, cached, bit-identical across jobs=N).
+    """
     slots = (
         tuple(active_slots)
         if active_slots is not None
@@ -314,31 +429,35 @@ def campaign_jobs(
         None if assignment is None else tuple(sorted(assignment.items()))
     )
     jobs = []
-    for pattern in config.patterns:
-        for rate in config.rates:
-            for seed in config.seeds:
-                jobs.append(
-                    SimulationJob(
-                        topology=topology,
-                        pattern=pattern,
-                        rate=rate,
-                        traffic_seed=seed,
-                        sim=config.sim,
-                        warmup=config.warmup,
-                        measure=config.measure,
-                        drain=config.drain,
-                        active_slots=slots,
-                        core_graph=(
-                            core_graph if pattern == APP_PATTERN else None
-                        ),
-                        assignment=(
-                            packed if pattern == APP_PATTERN else None
-                        ),
-                        flit_width_bits=config.flit_width_bits,
-                        clock_mhz=config.clock_mhz,
-                        tag=f"{pattern}@{rate:g}/s{seed}",
+    for fault_seed, fabric in campaign_fault_variants(topology, config):
+        fault_tag = "" if fault_seed is None else f"/f{fault_seed}"
+        for pattern in config.patterns:
+            for rate in config.rates:
+                for seed in config.seeds:
+                    jobs.append(
+                        SimulationJob(
+                            topology=fabric,
+                            pattern=pattern,
+                            rate=rate,
+                            traffic_seed=seed,
+                            sim=config.sim,
+                            warmup=config.warmup,
+                            measure=config.measure,
+                            drain=config.drain,
+                            active_slots=slots,
+                            core_graph=(
+                                core_graph
+                                if pattern == APP_PATTERN
+                                else None
+                            ),
+                            assignment=(
+                                packed if pattern == APP_PATTERN else None
+                            ),
+                            flit_width_bits=config.flit_width_bits,
+                            clock_mhz=config.clock_mhz,
+                            tag=f"{pattern}@{rate:g}/s{seed}{fault_tag}",
+                        )
                     )
-                )
     return jobs
 
 
@@ -394,7 +513,14 @@ def run_campaign(
         application=None if core_graph is None else core_graph.name,
         config=config,
     )
-    for job, outcome in zip(job_list, engine.run(job_list)):
+    # Jobs are fault-variant major: recover each point's fault seed from
+    # its index (campaign_fault_variants is deterministic, so this
+    # matches the fabrics campaign_jobs actually submitted).
+    fault_seeds = [
+        fs for fs, _ in campaign_fault_variants(topology, config)
+    ]
+    per_variant = len(job_list) // len(fault_seeds)
+    for i, (job, outcome) in enumerate(zip(job_list, engine.run(job_list))):
         outcome.raise_if_error()
         result.points.append(
             CampaignPoint(
@@ -402,6 +528,7 @@ def run_campaign(
                 rate=job.rate,
                 seed=job.traffic_seed,
                 report=outcome.value,
+                fault_seed=fault_seeds[i // per_variant],
             )
         )
 

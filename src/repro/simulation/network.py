@@ -326,11 +326,42 @@ class Network:
             s: deque() for s in self.active_slots
         }
 
+        # --- degraded channels (fault overlays): a per-channel
+        # forwarding period (inverse capacity factor) and extra per-hop
+        # latency. All ``None`` on pristine fabrics, keeping the fused
+        # loop's exact fast path (and its bit-identical goldens) intact.
+        degradations = getattr(topology, "channel_degradations", None)
+        degradations = (
+            degradations() if callable(degradations) else None
+        )
+        self._chan_period: list[int] | None = None
+        self._chan_extra: list[int] | None = None
+        self._chan_free_at: list[int] | None = None
+        max_extra = 0
+        if degradations:
+            nchan = len(layout.chan_key)
+            periods = [1] * nchan
+            extras = [0] * nchan
+            for edge, (cap_factor, extra_latency) in degradations.items():
+                base = layout.edge_base.get(edge)
+                if base is None:
+                    continue
+                period = max(1, round(1.0 / float(cap_factor)))
+                for vc in range(self.config.num_vcs):
+                    periods[base + vc] = period
+                    extras[base + vc] = int(extra_latency)
+            if any(p != 1 for p in periods) or any(extras):
+                self._chan_period = periods
+                self._chan_extra = extras
+                self._chan_free_at = [0] * nchan
+                max_extra = max(extras)
+
         # --- event wheels: every scheduled offset (forward = link +
-        # switch latency, injection = link latency, credit = 1) is at
-        # most horizon - 1, so slots never collide.
+        # switch latency + per-channel extra, injection = link latency,
+        # credit = 1) is at most horizon - 1, so slots never collide.
         self._horizon = (
             self.config.link_latency + self.config.switch_latency + 1
+            + max_extra
         )
         self._forward_delay = (
             self.config.link_latency + self.config.switch_latency
@@ -435,6 +466,9 @@ class Network:
         delivered_append = self.delivered.append
         forward_delay = self._forward_delay
         link_latency = self.config.link_latency
+        chan_period = self._chan_period
+        chan_extra = self._chan_extra
+        chan_free_at = self._chan_free_at
         rng = self.rng
         # Tests may monkeypatch ``_schedule_arrival`` to spy on events;
         # route every scheduled arrival through the method in that case
@@ -546,6 +580,11 @@ class Network:
                             continue
                         if out_owner[rq] != ch or out_credits[rq] <= 0:
                             continue
+                        if (
+                            chan_period is not None
+                            and cycle < chan_free_at[rq]
+                        ):
+                            continue  # degraded channel still busy
                         queue = in_queue[ch]
                         flit = queue[0]
                         if flit.packet.pid != out_owner_pid[rq]:
@@ -553,7 +592,12 @@ class Network:
                         queue.popleft()
                         out_credits[rq] -= 1
                         switch_flits[si] += 1
-                        if arrival_append is not None:
+                        if chan_period is not None:
+                            chan_free_at[rq] = cycle + chan_period[rq]
+                            self._schedule_arrival(
+                                arrive_at + chan_extra[rq], rq, flit
+                            )
+                        elif arrival_append is not None:
                             arrival_append((rq, flit))
                         else:
                             self._schedule_arrival(arrive_at, rq, flit)

@@ -16,6 +16,7 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.errors import UnsupportedRoutingError
+from repro.routing.shortest import routing_view
 from repro.topology.base import Topology, is_term, term
 
 
@@ -34,11 +35,17 @@ class RouteTable:
             for src in self.slots:
                 if src == dst:
                     continue
-                for path in self._paths(src, dst):
-                    for a, b in zip(path, path[1:]):
-                        if is_term(a):
-                            continue  # injection handled by the terminal
-                        candidates.setdefault((a, term(dst)), set()).add(b)
+                try:
+                    for path in self._paths(src, dst):
+                        for a, b in zip(path, path[1:]):
+                            if is_term(a):
+                                continue  # injection handled by the terminal
+                            candidates.setdefault((a, term(dst)), set()).add(b)
+                except nx.NetworkXNoPath:
+                    # Faults severed this pair: leave it out of the table
+                    # (a packet for it raises UnsupportedRoutingError at
+                    # injection) instead of aborting the whole build.
+                    continue
         self._table = {
             key: tuple(sorted(nexts, key=repr))
             for key, nexts in candidates.items()
@@ -50,8 +57,14 @@ class RouteTable:
             return
         except UnsupportedRoutingError:
             pass
+        # Search the switch fabric plus the two endpoint terminals only:
+        # routes must never pass *through* a third core's terminal, and
+        # on a faulted fabric a terminal bounce can otherwise tie for
+        # shortest (e.g. a butterfly terminal bridging the output stage
+        # back to the input stage around a dead link).
+        s, d = term(src), term(dst)
         yield from nx.all_shortest_paths(
-            self.topology.graph, term(src), term(dst)
+            routing_view(self.topology.graph, s, d), s, d
         )
 
     def candidates(self, node, dst_slot: int) -> tuple:

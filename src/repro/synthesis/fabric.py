@@ -51,6 +51,10 @@ class CandidateSpec:
         max_switch_degree: maximum network channels per switch
             (core ports excluded; parallel channels each count).
         link_capacity_mb_s: per-channel capacity used to size fat links.
+        fault_tolerance: surviving-link guarantee — the fabric stays
+            connected under any ``fault_tolerance`` dead inter-switch
+            links (Chen et al.'s k-connectivity objective; 0 = the
+            plain spanning-tree fabric).
     """
 
     strategy: str
@@ -58,14 +62,23 @@ class CandidateSpec:
     max_cluster_size: int
     max_switch_degree: int
     link_capacity_mb_s: float
+    fault_tolerance: int = 0
 
     @property
     def label(self) -> str:
-        """Unique topology/table name for this candidate."""
-        return (
+        """Unique topology/table name for this candidate.
+
+        The fault-tolerance suffix appears only when the guarantee is
+        non-trivial, keeping every pre-existing label (and the
+        deterministic per-candidate seeds derived from it) unchanged.
+        """
+        base = (
             f"syn-{self.strategy}-s{self.num_switches}"
             f"c{self.max_cluster_size}d{self.max_switch_degree}"
         )
+        if self.fault_tolerance:
+            base += f"-ft{self.fault_tolerance}"
+        return base
 
 
 def intended_assignment(clusters: list[list[int]]) -> dict[int, int]:
@@ -86,13 +99,24 @@ def fabric_from_partition(
     name: str,
     max_switch_degree: int,
     link_capacity_mb_s: float,
+    fault_tolerance: int = 0,
 ) -> CustomTopology:
     """Wire one switch per cluster into a connected, degree-bounded fabric.
+
+    With ``fault_tolerance=k > 0`` the fabric additionally embeds a
+    Harary circulant ring ``C(1..ceil((k+1)/2))`` over the switches
+    before any demand-driven links, making the switch network at least
+    ``k+1``-edge-connected — every communicating cluster pair stays
+    routable under any ``k`` dead inter-switch links (Chen et al.'s
+    generalized fault-tolerance objective).
 
     Raises:
         TopologyError: when the degree bound cannot even hold a
             connected fabric (``max_switch_degree < 2`` with three or
-            more clusters, ``< 1`` with two).
+            more clusters, ``< 1`` with two), or when the
+            fault-tolerance guarantee is infeasible (fewer than
+            ``fault_tolerance + 2`` switches, or a degree budget too
+            small for the protection ring).
     """
     k = len(clusters)
     if k == 0:
@@ -138,11 +162,6 @@ def fabric_from_partition(
     degree_left = {ci: max_switch_degree for ci in range(k)}
     mult: dict[tuple[int, int], int] = {}
 
-    # Phase 1 — degree-constrained maximum spanning tree (connectivity).
-    # With a budget of >= 2 per switch this always connects: a forest on
-    # m nodes spends fewer than 2m channel-ends, so every component
-    # keeps a node with spare budget, and the complete pair list
-    # eventually offers a pair of spare nodes across any two components.
     root = list(range(k))
 
     def find(x: int) -> int:
@@ -152,6 +171,47 @@ def fabric_from_partition(
         return x
 
     joined = 1
+
+    # Phase 0 — fault-tolerance ring. A Harary circulant C_k(1..j) is
+    # 2j-edge-connected for k > 2j (and collapses to the complete graph
+    # K_k, (k-1)-edge-connected, for small k), so j = ceil((ft+1)/2)
+    # chords per direction guarantee ft+1 edge connectivity whenever
+    # k >= ft+2. Spent before demand links: protection is the contract,
+    # bandwidth upgrades get whatever budget remains.
+    if fault_tolerance > 0 and k >= 2:
+        if k < fault_tolerance + 2:
+            raise TopologyError(
+                f"{name}: {k} switches cannot stay connected under "
+                f"{fault_tolerance} dead links (needs at least "
+                f"{fault_tolerance + 2} switches)"
+            )
+        span = (fault_tolerance + 2) // 2
+        for j in range(1, span + 1):
+            for i in range(k):
+                a, b = sorted((i, (i + j) % k))
+                if a == b or (a, b) in mult:
+                    continue
+                if degree_left[a] < 1 or degree_left[b] < 1:
+                    raise TopologyError(
+                        f"{name}: degree budget {max_switch_degree} "
+                        f"cannot hold the fault-tolerance ring "
+                        f"(fault_tolerance={fault_tolerance} needs up "
+                        f"to {min(2 * span, k - 1)} channels per switch)"
+                    )
+                mult[(a, b)] = 1
+                degree_left[a] -= 1
+                degree_left[b] -= 1
+                ra, rb = find(a), find(b)
+                if ra != rb:
+                    root[ra] = rb
+                    joined += 1
+
+    # Phase 1 — degree-constrained maximum spanning tree (connectivity).
+    # With a budget of >= 2 per switch this always connects: a forest on
+    # m nodes spends fewer than 2m channel-ends, so every component
+    # keeps a node with spare budget, and the complete pair list
+    # eventually offers a pair of spare nodes across any two components.
+    # (A no-op when the fault-tolerance ring already joined everything.)
     for a, b in pairs:
         if joined == k:
             break
@@ -219,6 +279,7 @@ def build_candidate(
         name=spec.label,
         max_switch_degree=spec.max_switch_degree,
         link_capacity_mb_s=spec.link_capacity_mb_s,
+        fault_tolerance=spec.fault_tolerance,
     )
 
 

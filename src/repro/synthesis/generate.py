@@ -72,6 +72,13 @@ class SynthesisConfig:
             to evaluate the full sweep, e.g. for diagnostics).
         seed: mixed into every candidate job's content-derived seed, so
             a future stochastic partitioner stays reproducible.
+        fault_tolerance: surviving-link guarantee for every candidate —
+            fabrics embed a protection ring keeping all communicating
+            clusters connected under any ``fault_tolerance`` dead
+            inter-switch links (Chen et al.; 0 = unprotected). Sweep
+            points whose switch count or degree budget cannot honor the
+            guarantee are pruned as unbuildable, never silently
+            weakened.
     """
 
     strategies: tuple[str, ...] = ("greedy", "bisect", "bounded")
@@ -82,6 +89,7 @@ class SynthesisConfig:
     link_capacity_mb_s: float | None = None
     prune: bool = True
     seed: int = 1
+    fault_tolerance: int = 0
 
 
 @dataclass
@@ -210,6 +218,7 @@ def _sweep_specs(
                         max_cluster_size=concentration,
                         max_switch_degree=degree,
                         link_capacity_mb_s=capacity,
+                        fault_tolerance=config.fault_tolerance,
                     )
                 )
     return specs
@@ -280,6 +289,7 @@ def enumerate_candidates(
                 name=spec.label,
                 max_switch_degree=spec.max_switch_degree,
                 link_capacity_mb_s=spec.link_capacity_mb_s,
+                fault_tolerance=spec.fault_tolerance,
             )
         except TopologyError as exc:
             pruned[spec.label] = f"unbuildable: {exc}"

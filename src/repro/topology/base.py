@@ -241,6 +241,16 @@ class Topology(ABC):
             self._channel_mult_cache = mults or None
         return self._channel_mult_cache
 
+    def channel_degradations(self) -> dict | None:
+        """``{directed net edge: (cap_factor, extra_latency)}`` or ``None``.
+
+        ``None`` — the pristine default — keeps the simulator on its
+        exact fast path; fault overlays
+        (:class:`repro.faults.FaultedTopology`) override this with the
+        surviving channels their fault set degrades.
+        """
+        return None
+
     def switch_of(self, slot: int):
         """The switch a terminal injects into (first hop)."""
         cache = self._switch_of_cache

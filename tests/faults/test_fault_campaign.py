@@ -1,0 +1,265 @@
+"""Fault axis through campaigns, synthesis, service, and CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import vopd
+from repro.core.greedy import initial_greedy_mapping
+from repro.errors import SimulationError, TopologyError
+from repro.faults import link_resilience, survives_link_faults
+from repro.service.contract import (
+    CONTRACT_VERSION,
+    ContractError,
+    parse_request,
+)
+from repro.simulation.campaign import (
+    CampaignConfig,
+    campaign_fault_variants,
+    campaign_jobs,
+    run_campaign,
+)
+from repro.synthesis.fabric import CandidateSpec, build_candidate
+from repro.synthesis.generate import SynthesisConfig, synthesize_topologies
+from repro.topology.library import make_topology
+
+TINY = dict(warmup=100, measure=400, drain=300)
+
+
+def _mesh_setup():
+    app = vopd()
+    topology = make_topology("mesh", app.num_cores)
+    assignment = initial_greedy_mapping(app, topology)
+    return app, topology, assignment
+
+
+class TestCampaignFaultConfig:
+    def test_fault_seeds_normalized_away_when_no_faults(self):
+        config = CampaignConfig(faults=0, fault_seeds=(1, 2, 3))
+        assert config.fault_seeds == ()
+        assert config == CampaignConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(faults=-1),
+            dict(faults=1, fault_seeds=()),
+            dict(faults=1, fault_seeds=(1, 1)),
+        ],
+    )
+    def test_invalid_fault_axis_rejected(self, kwargs):
+        with pytest.raises((SimulationError, ValueError)):
+            CampaignConfig(**kwargs)
+
+    def test_num_points_multiplies_by_fault_variants(self):
+        base = CampaignConfig(rates=(0.1, 0.2), patterns=("uniform",),
+                              seeds=(1,))
+        faulted = CampaignConfig(
+            rates=(0.1, 0.2), patterns=("uniform",), seeds=(1,),
+            faults=1, fault_seeds=(1, 2, 3),
+        )
+        assert faulted.num_points == 3 * base.num_points
+
+    def test_fault_variants_are_deterministic(self):
+        topology = make_topology("mesh", 12)
+        config = CampaignConfig(faults=2, fault_seeds=(1, 2))
+        v1 = campaign_fault_variants(topology, config)
+        v2 = campaign_fault_variants(topology, config)
+        assert [(fs, t.name) for fs, t in v1] == [
+            (fs, t.name) for fs, t in v2
+        ]
+        names = {t.name for _, t in v1}
+        assert len(names) == 2
+        assert all("faults-L2-" in n for n in names)
+
+    def test_pristine_config_yields_identity_variant(self):
+        topology = make_topology("mesh", 12)
+        variants = campaign_fault_variants(topology, CampaignConfig())
+        assert len(variants) == 1
+        assert variants[0][0] is None
+        assert variants[0][1] is topology
+
+
+class TestFaultCampaignRuns:
+    def test_fault_campaign_serial_parallel_bit_identical(self):
+        """Acceptance: the fault axis sweeps through the engine with
+        jobs=1 and jobs=N producing bit-identical results."""
+        app, topology, assignment = _mesh_setup()
+        config = CampaignConfig(
+            rates=(0.1, 0.3),
+            patterns=("app",),
+            seeds=(1,),
+            faults=1,
+            fault_seeds=(1, 2),
+            **TINY,
+        )
+        serial = run_campaign(
+            topology, app, assignment, config=config, jobs=1
+        )
+        parallel = run_campaign(
+            topology, app, assignment, config=config, jobs=2
+        )
+        assert serial.to_dict() == parallel.to_dict()
+
+    def test_points_tag_their_fault_seed(self):
+        app, topology, assignment = _mesh_setup()
+        config = CampaignConfig(
+            rates=(0.1,), patterns=("app",), seeds=(1,),
+            faults=1, fault_seeds=(1, 2), **TINY,
+        )
+        result = run_campaign(topology, app, assignment, config=config)
+        assert sorted({p.fault_seed for p in result.points}) == [1, 2]
+        d = result.to_dict()
+        assert d["config"]["faults"] == 1
+        assert d["config"]["fault_seeds"] == [1, 2]
+        assert all("fault_seed" in p for p in d["points"])
+        assert "fault variants" in result.summary()
+
+    def test_pristine_campaign_dict_has_no_fault_keys(self):
+        app, topology, assignment = _mesh_setup()
+        config = CampaignConfig(
+            rates=(0.1,), patterns=("app",), seeds=(1,), **TINY
+        )
+        d = run_campaign(
+            topology, app, assignment, config=config
+        ).to_dict()
+        assert "faults" not in d["config"]
+        assert "fault_seeds" not in d["config"]
+        assert all("fault_seed" not in p for p in d["points"])
+
+    def test_fault_jobs_get_distinct_tags(self):
+        app, topology, assignment = _mesh_setup()
+        config = CampaignConfig(
+            rates=(0.1,), patterns=("app",), seeds=(1,),
+            faults=1, fault_seeds=(1, 2), **TINY,
+        )
+        jobs = campaign_jobs(
+            topology, config, core_graph=app, assignment=assignment
+        )
+        tags = [job.tag for job in jobs]
+        assert len(tags) == len(set(tags)) == 2
+        assert any(tag.endswith("/f1") for tag in tags)
+        assert any(tag.endswith("/f2") for tag in tags)
+        names = {job.topology.name for job in jobs}
+        assert len(names) == 2
+        assert all("+faults-L1-" in name for name in names)
+
+
+class TestFaultTolerantSynthesis:
+    def test_ft_spec_label_and_feasibility(self, vopd_app):
+        plain = CandidateSpec("greedy", 3, 4, 4, 500.0)
+        protected = CandidateSpec("greedy", 3, 4, 4, 500.0,
+                                  fault_tolerance=1)
+        assert plain.label == "syn-greedy-s3c4d4"
+        assert protected.label == "syn-greedy-s3c4d4-ft1"
+        fabric = build_candidate(vopd_app, protected)
+        assert survives_link_faults(fabric, 1)
+
+    def test_ft_fabric_beats_unprotected_resilience(self, vopd_app):
+        """Acceptance: k-connectivity synthesis yields candidates that
+        survive k=1 where the unprotected winner does not."""
+        base_cfg = dict(
+            strategies=("greedy",), concentrations=(4,),
+            max_switch_degrees=(4,), max_candidates=4,
+        )
+        plain = synthesize_topologies(
+            vopd_app, config=SynthesisConfig(**base_cfg)
+        )
+        protected = synthesize_topologies(
+            vopd_app,
+            config=SynthesisConfig(**base_cfg, fault_tolerance=1),
+        )
+        assert plain.best is not None and protected.best is not None
+        assert not survives_link_faults(plain.best.topology, 1)
+        assert survives_link_faults(protected.best.topology, 1)
+        assert link_resilience(protected.best.topology) > link_resilience(
+            plain.best.topology
+        )
+
+    def test_infeasible_protection_raises(self, vopd_app):
+        # Two clusters cannot survive a dead link with only one link.
+        spec = CandidateSpec("greedy", 2, 8, 1, 500.0, fault_tolerance=1)
+        with pytest.raises(TopologyError):
+            build_candidate(vopd_app, spec)
+
+
+class TestServiceFaultParams:
+    def _parse(self, kind, params):
+        return parse_request(
+            {"v": CONTRACT_VERSION, "kind": kind, "params": params}
+        )
+
+    def test_campaign_fault_defaults(self):
+        req = self._parse("campaign", {"app": "vopd", "topology": "mesh"})
+        assert req.params["faults"] == 0
+        assert req.params["fault_seeds"] == [1]
+
+    def test_campaign_fault_params_accepted(self):
+        req = self._parse(
+            "campaign",
+            {"app": "vopd", "topology": "mesh", "faults": 2,
+             "fault_seeds": [3, 4]},
+        )
+        assert req.params["faults"] == 2
+        assert req.params["fault_seeds"] == [3, 4]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"faults": -1},
+            {"faults": "two"},
+            {"fault_seeds": []},
+            {"fault_seeds": [1.5]},
+        ],
+    )
+    def test_campaign_bad_fault_params_rejected(self, bad):
+        with pytest.raises(ContractError):
+            self._parse(
+                "campaign",
+                {"app": "vopd", "topology": "mesh", **bad},
+            )
+
+    @pytest.mark.parametrize("kind", ["select", "synthesize"])
+    def test_fault_tolerance_defaults_and_bounds(self, kind):
+        req = self._parse(kind, {"app": "vopd"})
+        assert req.params["fault_tolerance"] == 0
+        req = self._parse(kind, {"app": "vopd", "fault_tolerance": 2})
+        assert req.params["fault_tolerance"] == 2
+        with pytest.raises(ContractError):
+            self._parse(kind, {"app": "vopd", "fault_tolerance": -1})
+
+
+class TestCliFaults:
+    def test_simulate_single_point_with_faults(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "simulate", "--app", "vopd", "--topology", "mesh",
+            "--faults", "2", "--fault-seeds", "1", "--rate", "0.1",
+            "--cycles", "400", "--warmup", "100", "--drain", "400",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults-L2-" in out
+
+    def test_campaign_with_fault_axis(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "simulate", "--app", "vopd", "--topology", "mesh",
+            "--rates", "0.1", "--patterns", "app",
+            "--faults", "1", "--fault-seeds", "1,2",
+            "--cycles", "400", "--warmup", "100", "--drain", "400",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault variants" in out
+
+    def test_synthesize_fault_tolerance_flag(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "synthesize", "--app", "vopd", "--strategies", "greedy",
+            "--concentrations", "4", "--degrees", "4",
+            "--fault-tolerance", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "-ft1" in out

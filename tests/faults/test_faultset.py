@@ -1,0 +1,149 @@
+"""FaultSet value semantics and deterministic fault samplers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.faults import (
+    FaultSet,
+    link_resilience,
+    sample_degradations,
+    sample_faults,
+    sample_switch_faults,
+    survives_link_faults,
+)
+from repro.topology.base import switch as sw
+from repro.topology.library import make_topology
+
+
+@pytest.fixture(scope="module")
+def mesh12():
+    return make_topology("mesh", 12)
+
+
+@pytest.fixture(scope="module")
+def clos12():
+    return make_topology("clos", 12)
+
+
+class TestFaultSetValue:
+    def test_empty_is_pristine(self):
+        fs = FaultSet()
+        assert fs.is_empty
+        assert fs.label == "pristine"
+
+    def test_normalization_makes_order_irrelevant(self):
+        a = sw((0, 0))
+        b = sw((0, 1))
+        c = sw((1, 1))
+        fs1 = FaultSet(dead_links=((a, b), (b, c)))
+        fs2 = FaultSet(dead_links=((c, b), (b, a), (a, b)))
+        assert fs1 == fs2
+        assert fs1.digest == fs2.digest
+        assert hash(fs1) == hash(fs2)
+
+    def test_label_encodes_counts_and_digest(self):
+        a, b, c = sw((0, 0)), sw((0, 1)), sw((1, 1))
+        fs = FaultSet(
+            dead_links=((a, b),),
+            dead_switches=(c,),
+            degraded=(((b, c), 0.5, 1),),
+        )
+        assert fs.label.startswith("faults-L1S1D1-")
+        assert fs.digest in fs.label
+
+    def test_different_content_different_digest(self):
+        a, b, c = sw((0, 0)), sw((0, 1)), sw((1, 1))
+        fs1 = FaultSet(dead_links=((a, b),))
+        fs2 = FaultSet(dead_links=((b, c),))
+        assert fs1.digest != fs2.digest
+
+    @pytest.mark.parametrize("cap", [0.0, -0.5, 1.5])
+    def test_bad_cap_factor_rejected(self, cap):
+        with pytest.raises(TopologyError):
+            FaultSet(degraded=(((sw((0, 0)), sw((0, 1))), cap, 0),))
+
+    def test_negative_extra_latency_rejected(self):
+        with pytest.raises(TopologyError):
+            FaultSet(degraded=(((sw((0, 0)), sw((0, 1))), 0.5, -1),))
+
+    def test_dead_and_degraded_conflict_rejected(self):
+        pair = (sw((0, 0)), sw((0, 1)))
+        with pytest.raises(TopologyError):
+            FaultSet(dead_links=(pair,), degraded=((pair, 0.5, 0),))
+
+    def test_duplicate_degradation_rejected(self):
+        pair = (sw((0, 0)), sw((0, 1)))
+        flipped = (pair[1], pair[0])
+        with pytest.raises(TopologyError):
+            FaultSet(degraded=((pair, 0.5, 0), (flipped, 0.25, 1)))
+
+
+class TestSamplers:
+    def test_link_sampler_is_deterministic(self, mesh12):
+        fs1 = sample_faults(mesh12, 2, seed=7)
+        fs2 = sample_faults(mesh12, 2, seed=7)
+        assert fs1 == fs2
+        assert len(fs1.dead_links) == 2
+
+    def test_seed_changes_the_draw(self, mesh12):
+        draws = {sample_faults(mesh12, 2, seed=s) for s in range(1, 6)}
+        assert len(draws) > 1
+
+    def test_zero_faults_is_pristine(self, mesh12):
+        assert sample_faults(mesh12, 0).is_empty
+        assert sample_switch_faults(mesh12, 0).is_empty
+        assert sample_degradations(mesh12, 0).is_empty
+
+    def test_too_many_faults_rejected(self, mesh12):
+        with pytest.raises(TopologyError):
+            sample_faults(mesh12, 10_000)
+        with pytest.raises(TopologyError):
+            sample_faults(mesh12, -1)
+
+    def test_switch_sampler_needs_transit_switches(self, mesh12, clos12):
+        # Every mesh switch carries a terminal, so there is nothing to
+        # kill without severing that terminal.
+        with pytest.raises(TopologyError):
+            sample_switch_faults(mesh12, 1)
+        fs = sample_switch_faults(clos12, 1, seed=3)
+        assert len(fs.dead_switches) == 1
+
+    def test_degradation_sampler_parameters(self, mesh12):
+        fs = sample_degradations(
+            mesh12, 3, seed=2, cap_factor=0.25, extra_latency=4
+        )
+        assert len(fs.degraded) == 3
+        for _pair, cap, extra in fs.degraded:
+            assert cap == 0.25
+            assert extra == 4
+
+
+class TestResilience:
+    def test_mesh_resilience(self, mesh12):
+        assert link_resilience(mesh12) == 2.0
+        assert survives_link_faults(mesh12, 1)
+        assert not survives_link_faults(mesh12, 2)
+
+    def test_switch_chain_has_cut_links(self):
+        from repro.topology.custom import CustomTopology
+
+        chain = CustomTopology(
+            name="chain",
+            slot_switch=[0, 0, 1, 1, 2, 2],
+            links=[(0, 1), (1, 2)],
+        )
+        assert link_resilience(chain) == 1.0
+        assert not survives_link_faults(chain, 1)
+
+    def test_single_switch_fabric_is_infinitely_resilient(self):
+        from repro.topology.custom import CustomTopology
+
+        one = CustomTopology(
+            name="one-switch", slot_switch=[0, 0, 0, 0], links=[]
+        )
+        assert link_resilience(one) == math.inf
+        assert survives_link_faults(one, 99)

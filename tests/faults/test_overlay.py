@@ -1,0 +1,244 @@
+"""FaultedTopology overlay: masking, re-convergence, fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError, UnroutableError
+from repro.faults import (
+    FaultSet,
+    FaultedTopology,
+    partitioned_pairs,
+    sample_degradations,
+    sample_faults,
+)
+from repro.engine.fingerprint import topology_fingerprint
+from repro.simulation.routes import RouteTable
+from repro.topology.base import is_term, switch as sw
+from repro.topology.library import make_topology
+
+FAULTABLE = ("mesh", "torus", "clos", "butterfly", "ring")
+#: Topologies defining dimension-ordered routing (direct dor_path tests).
+DOR_TOPOLOGIES = ("mesh", "torus", "hypercube")
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _dead_edges(faulted: FaultedTopology) -> set:
+    dead = set()
+    for u, v in faulted.faults.dead_links:
+        dead.add((u, v))
+        dead.add((v, u))
+    return dead
+
+
+class TestOverlayStructure:
+    def test_dead_elements_absent_from_graph(self):
+        base = make_topology("mesh", 12)
+        faults = sample_faults(base, 2, seed=1)
+        faulted = FaultedTopology(base, faults)
+        for edge in _dead_edges(faulted):
+            assert not faulted.graph.has_edge(*edge)
+        # The base is untouched.
+        for edge in _dead_edges(faulted):
+            assert base.graph.has_edge(*edge)
+
+    def test_name_embeds_fault_digest(self):
+        base = make_topology("mesh", 12)
+        faults = sample_faults(base, 1, seed=1)
+        faulted = FaultedTopology(base, faults)
+        assert faulted.name == f"{base.name}+{faults.label}"
+
+    def test_nesting_rejected(self):
+        base = make_topology("mesh", 12)
+        faulted = FaultedTopology(base, sample_faults(base, 1))
+        with pytest.raises(TopologyError):
+            FaultedTopology(faulted, FaultSet())
+
+    def test_unknown_references_rejected(self):
+        base = make_topology("mesh", 12)
+        bogus = (sw("nowhere-a"), sw("nowhere-b"))
+        with pytest.raises(TopologyError):
+            FaultedTopology(base, FaultSet(dead_links=(bogus,)))
+        with pytest.raises(TopologyError):
+            FaultedTopology(base, FaultSet(dead_switches=(sw("ghost"),)))
+        with pytest.raises(TopologyError):
+            FaultedTopology(base, FaultSet(degraded=((bogus, 0.5, 1),)))
+
+    def test_degradations_annotate_surviving_edges(self):
+        base = make_topology("mesh", 12)
+        faults = sample_degradations(base, 2, seed=1, cap_factor=0.5,
+                                     extra_latency=3)
+        faulted = FaultedTopology(base, faults)
+        degr = faulted.channel_degradations()
+        assert degr is not None
+        # Both directions of each degraded pair are annotated.
+        assert len(degr) == 4
+        for edge, (cap, extra) in degr.items():
+            assert faulted.graph.has_edge(*edge)
+            assert cap == 0.5 and extra == 3
+
+    def test_pristine_overlay_has_no_degradations(self):
+        base = make_topology("mesh", 12)
+        faulted = FaultedTopology(base, FaultSet())
+        assert faulted.channel_degradations() is None
+
+
+class TestFingerprints:
+    def test_fault_variants_never_alias(self):
+        base = make_topology("mesh", 12)
+        prints = {topology_fingerprint(base)}
+        for seed in (1, 2, 3):
+            faulted = FaultedTopology(base, sample_faults(base, 2, seed=seed))
+            prints.add(topology_fingerprint(faulted))
+        degraded = FaultedTopology(base, sample_degradations(base, 2, seed=1))
+        prints.add(topology_fingerprint(degraded))
+        # mesh-3x4 has distinct 2-link draws for these seeds, so every
+        # variant (and the pristine base) fingerprints differently.
+        assert len(prints) == 5
+
+    def test_empty_fault_set_keeps_base_name_and_is_stable(self):
+        base = make_topology("mesh", 12)
+        faulted = FaultedTopology(base, FaultSet())
+        # No "+pristine" suffix, and the fingerprint is reproducible.
+        assert faulted.name == base.name
+        again = FaultedTopology(make_topology("mesh", 12), FaultSet())
+        assert topology_fingerprint(faulted) == topology_fingerprint(again)
+
+
+class TestRoutingReconvergence:
+    @SLOW
+    @given(
+        name=st.sampled_from(DOR_TOPOLOGIES),
+        k=st.integers(1, 2),
+        seed=st.integers(1, 50),
+    )
+    def test_routes_avoid_dead_links_and_reach_endpoints(
+        self, name, k, seed
+    ):
+        base = make_topology(name, 12)
+        try:
+            faults = sample_faults(base, k, seed=seed)
+        except TopologyError:
+            return  # fabric too sparse for this k: nothing to check
+        faulted = FaultedTopology(base, faults)
+        dead = _dead_edges(faulted)
+        assert partitioned_pairs(faulted) == []
+        n = faulted.num_slots
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                path = faulted.dor_path(src, dst)
+                assert is_term(path[0]) and is_term(path[-1])
+                hops = list(zip(path, path[1:]))
+                assert all(e not in dead for e in hops)
+                assert all(faulted.graph.has_edge(*e) for e in hops)
+
+    @SLOW
+    @given(name=st.sampled_from(FAULTABLE), seed=st.integers(1, 50))
+    def test_route_table_covers_all_pairs_under_faults(self, name, seed):
+        base = make_topology(name, 12)
+        try:
+            faults = sample_faults(base, 2, seed=seed)
+        except TopologyError:
+            return  # fabric too sparse for two dead links
+        faulted = FaultedTopology(base, faults)
+        table = RouteTable(faulted)
+        dead = _dead_edges(faulted)
+        n = faulted.num_slots
+        for src in range(n):
+            inject = next(iter(faulted.graph.successors(("term", src))))
+            for dst in range(n):
+                if src == dst:
+                    continue
+                # Walk the table hop by hop to the destination.
+                node = inject
+                steps = 0
+                while node != ("term", dst):
+                    nxt = table.candidates(node, dst)[0]
+                    assert (node, nxt) not in dead
+                    node = nxt
+                    steps += 1
+                    assert steps <= 64, "routing loop"
+
+    def test_unroutable_iff_partitioned(self):
+        base = make_topology("mesh", 12)
+        # Kill both links of corner switch 0: its terminal is provably
+        # severed from everything else.
+        corner_cut = FaultSet(
+            dead_links=((sw(0), sw(1)), (sw(0), sw(4)))
+        )
+        faulted = FaultedTopology(base, corner_cut)
+        severed = partitioned_pairs(faulted)
+        assert severed, "corner cut must sever the corner terminal"
+        severed_set = set(severed)
+        n = faulted.num_slots
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                if (src, dst) in severed_set:
+                    with pytest.raises(UnroutableError):
+                        faulted.dor_path(src, dst)
+                else:
+                    path = faulted.dor_path(src, dst)
+                    assert path[0] == ("term", src)
+                    assert path[-1] == ("term", dst)
+
+    def test_simulator_honors_degradation(self):
+        """Degraded channels (half capacity, extra per-hop cycles) must
+        raise measured latency relative to the pristine fabric."""
+        from repro.simulation.stats import run_measurement
+        from repro.simulation.traffic import build_traffic
+
+        base = make_topology("mesh", 12)
+        faults = sample_degradations(
+            base, 4, seed=1, cap_factor=0.25, extra_latency=3
+        )
+        faulted = FaultedTopology(base, faults)
+        traffic = build_traffic("uniform", 0.2, 7)
+        pristine = run_measurement(
+            base, traffic, warmup=200, measure=800, drain=600
+        )
+        degraded = run_measurement(
+            faulted, traffic, warmup=200, measure=800, drain=600
+        )
+        assert degraded.avg_latency > pristine.avg_latency
+
+    def test_dead_links_still_deliver_traffic(self):
+        from repro.simulation.stats import run_measurement
+        from repro.simulation.traffic import build_traffic
+
+        base = make_topology("mesh", 12)
+        faulted = FaultedTopology(base, sample_faults(base, 2, seed=1))
+        traffic = build_traffic("uniform", 0.15, 7)
+        stats = run_measurement(
+            faulted, traffic, warmup=200, measure=800, drain=600
+        )
+        assert stats.delivered_fraction > 0.99
+
+    def test_surviving_base_routes_kept_verbatim(self):
+        base = make_topology("mesh", 12)
+        faults = sample_faults(base, 1, seed=1)
+        faulted = FaultedTopology(base, faults)
+        dead = _dead_edges(faulted)
+        kept = rerouted = 0
+        n = base.num_slots
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                pristine = base.dor_path(src, dst)
+                if all(e not in dead for e in zip(pristine, pristine[1:])):
+                    assert faulted.dor_path(src, dst) == pristine
+                    kept += 1
+                else:
+                    rerouted += 1
+        assert kept > 0 and rerouted > 0

@@ -1,0 +1,137 @@
+"""Regressions for the silent-failure bugs fixed alongside fault injection.
+
+Three distinct bugs shared one failure mode — swallowing a problem
+instead of surfacing it:
+
+* ``xpipes/generator.py`` skipped unreachable destinations with a bare
+  ``except Exception: continue``, silently truncating routing tables
+  (and hiding any *other* failure in table construction);
+* ``cli.py main()`` let transport-level ``OSError`` escape as a raw
+  traceback instead of a clean one-line diagnosis;
+* ``detect_saturation`` zip-truncated mismatched sweeps and could pick a
+  congested point as the zero-load latency baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.faults import FaultedTopology, FaultSet
+from repro.simulation.campaign import detect_saturation
+from repro.topology.base import switch as sw
+from repro.topology.library import make_topology
+from repro.xpipes.generator import generate_systemc
+from repro.xpipes.netlist import build_netlist
+
+
+class TestXpipesUnreachableSentinel:
+    def _severed_netlist(self, vopd_app):
+        base = make_topology("mesh", 12)
+        # Corner switch 0 loses both links: slot 0 is unreachable from
+        # every other switch (and vice versa), but the netlist itself
+        # is still emittable.
+        faulted = FaultedTopology(
+            base,
+            FaultSet(dead_links=((sw(0), sw(1)), (sw(0), sw(4)))),
+        )
+        assignment = {i: i for i in range(12)}
+        return faulted, build_netlist(vopd_app, faulted, assignment)
+
+    def test_unreachable_destination_emits_sentinel(self, vopd_app):
+        faulted, netlist = self._severed_netlist(vopd_app)
+        code = generate_systemc(netlist, faulted)
+        # Unreachable destinations appear as explicit {dst, -1} rows
+        # instead of being silently dropped.
+        assert "{0, -1}" in code
+
+    def test_tables_stay_complete_for_reachable_pairs(self, vopd_app):
+        faulted, netlist = self._severed_netlist(vopd_app)
+        code = generate_systemc(netlist, faulted)
+        # Every switch still emits a routing table line.
+        assert code.count("_route[][2]") == 12
+
+    def test_unrelated_errors_propagate(self, vopd_app, monkeypatch):
+        """Only routing-layer misses get the sentinel; anything else
+        must abort generation loudly."""
+        from repro.simulation.routes import RouteTable
+
+        faulted, netlist = self._severed_netlist(vopd_app)
+
+        def boom(self, node, dst):
+            raise RuntimeError("table corrupted")
+
+        monkeypatch.setattr(RouteTable, "candidates", boom)
+        with pytest.raises(RuntimeError, match="table corrupted"):
+            generate_systemc(netlist, faulted)
+
+
+class TestCliOsErrorHandling:
+    def test_oserror_yields_clean_exit(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def explode(args):
+            raise OSError(98, "address already in use")
+
+        monkeypatch.setitem(cli._COMMANDS, "apps", explode)
+        assert cli.main(["apps"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "address already in use" in err
+        assert "Traceback" not in err
+
+    def test_broken_pipe_still_exits_zero(self, monkeypatch):
+        # BrokenPipeError is an OSError subclass; the pager case must
+        # keep winning despite the new OSError handler.
+        import io
+        import repro.cli as cli
+
+        def pipe_gone(args):
+            raise BrokenPipeError()
+
+        monkeypatch.setitem(cli._COMMANDS, "apps", pipe_gone)
+        # The handler closes stdout (the pipe is gone anyway); hand it
+        # a throwaway stream so pytest's capture survives.
+        monkeypatch.setattr(cli.sys, "stdout", io.StringIO())
+        assert cli.main(["apps"]) == 0
+
+
+class TestDetectSaturationRegressions:
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            detect_saturation((0.1, 0.2), (10.0,), (1.0, 1.0))
+        with pytest.raises(ValueError, match="equal-length"):
+            detect_saturation((0.1,), (10.0,), (1.0, 0.9))
+
+    def test_baseline_skips_saturated_first_point(self):
+        # The first point already collapsed: its finite latency is a
+        # congestion artifact and must not serve as the baseline. The
+        # sweep saturates at that first rate regardless.
+        assert detect_saturation(
+            (0.1, 0.2, 0.3),
+            (200.0, 10.0, 12.0),
+            (0.5, 1.0, 1.0),
+        ) == 0.1
+
+    def test_baseline_from_first_healthy_point(self):
+        # First healthy point (rate 0.2, latency 10) is the baseline;
+        # rate 0.4 blows past 4x10 and is flagged.
+        assert detect_saturation(
+            (0.1, 0.2, 0.3, 0.4),
+            (300.0, 10.0, 12.0, 50.0),
+            (0.8, 1.0, 1.0, 0.95),
+        ) == 0.1  # delivery already collapsed at 0.1
+        assert detect_saturation(
+            (0.2, 0.3, 0.4),
+            (10.0, 12.0, 50.0),
+            (1.0, 1.0, 0.95),
+        ) == 0.4
+
+    def test_all_points_unbounded(self):
+        assert detect_saturation((0.1,), (math.inf,), (1.0,)) == 0.1
+
+    def test_healthy_sweep_has_no_saturation(self):
+        assert detect_saturation(
+            (0.1, 0.2), (10.0, 11.0), (1.0, 1.0)
+        ) is None
