@@ -24,7 +24,12 @@ Commands mirror the tool's phases and the paper's experiments:
 
 Engine-backed commands accept ``--cache SPEC`` (``sqlite:PATH`` /
 ``dir:PATH``) to persist evaluations across runs — a warm store answers
-repeated work without recomputing, with bit-identical results.
+repeated work without recomputing, with bit-identical results. They
+also accept ``--journal PATH`` to append every completed evaluation to
+a run journal as it finishes; after a crash or a kill, re-running the
+same command with ``--resume`` replays the journaled prefix and only
+computes what is missing — the output is bit-identical to an
+uninterrupted run.
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ from repro.core.exploration import (
 from repro.core.mapper import map_onto
 from repro.core.selector import select_topology
 from repro.engine.engine import ExplorationEngine
+from repro.engine.journal import open_journal
 from repro.errors import ReproError
 from repro.physical.library import AreaPowerLibrary
 from repro.simulation.stats import run_measurement
@@ -89,6 +95,34 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
         "evaluations from earlier runs; results are identical either "
         "way",
     )
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append-only run journal (JSONL): each completed "
+        "evaluation is recorded as it finishes, so an interrupted "
+        "run can be resumed with --resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from an existing --journal file: journaled "
+        "results replay bit-identically and only missing work is "
+        "computed (a torn final line from a crash is truncated)",
+    )
+
+
+def _journal(args):
+    """Open the run journal requested by ``--journal``/``--resume``."""
+    return open_journal(
+        getattr(args, "journal", None),
+        resume=getattr(args, "resume", False),
+    )
+
+
+def _close_journal(journal) -> None:
+    """Report journal counters and release the file handle."""
+    if journal is None:
+        return
+    print(str(journal.stats), file=sys.stderr)
+    journal.close()
 
 
 def _constraints(args) -> Constraints:
@@ -203,32 +237,38 @@ def cmd_select(args) -> int:
         from repro.synthesis import SynthesisConfig
 
         synthesize = SynthesisConfig(fault_tolerance=args.fault_tolerance)
-    if args.fallback:
-        report = run_sunmap(
+    journal = _journal(args)
+    try:
+        if args.fallback:
+            report = run_sunmap(
+                app,
+                routing=args.routing,
+                objective=args.objective,
+                constraints=_constraints(args),
+                topologies=topologies,
+                generate=False,
+                jobs=args.jobs,
+                synthesize=synthesize,
+                cache_backend=args.cache,
+                journal=journal,
+            )
+            print(report.summary())
+            if args.save_topology:
+                _save_best_synthesized(report.selection, args.save_topology)
+            return 0
+        selection = select_topology(
             app,
+            topologies=topologies,
             routing=args.routing,
             objective=args.objective,
             constraints=_constraints(args),
-            topologies=topologies,
-            generate=False,
             jobs=args.jobs,
             synthesize=synthesize,
             cache_backend=args.cache,
+            journal=journal,
         )
-        print(report.summary())
-        if args.save_topology:
-            _save_best_synthesized(report.selection, args.save_topology)
-        return 0
-    selection = select_topology(
-        app,
-        topologies=topologies,
-        routing=args.routing,
-        objective=args.objective,
-        constraints=_constraints(args),
-        jobs=args.jobs,
-        synthesize=synthesize,
-        cache_backend=args.cache,
-    )
+    finally:
+        _close_journal(journal)
     if args.markdown:
         from repro.report import selection_to_markdown
 
@@ -257,15 +297,20 @@ def cmd_synthesize(args) -> int:
         max_candidates=args.max_candidates,
         fault_tolerance=args.fault_tolerance,
     )
-    result = synthesize_topologies(
-        app,
-        config=config,
-        routing=args.routing,
-        objective=args.objective,
-        constraints=_constraints(args),
-        jobs=args.jobs,
-        cache_backend=args.cache,
-    )
+    journal = _journal(args)
+    try:
+        result = synthesize_topologies(
+            app,
+            config=config,
+            routing=args.routing,
+            objective=args.objective,
+            constraints=_constraints(args),
+            jobs=args.jobs,
+            cache_backend=args.cache,
+            journal=journal,
+        )
+    finally:
+        _close_journal(journal)
     print(
         f"synthesized candidates for {app.name} "
         f"[{args.routing}/{result.objective_name}]:"
@@ -289,24 +334,35 @@ def cmd_synthesize(args) -> int:
 def cmd_explore(args) -> int:
     app = _load_app(args)
     topology = make_topology(args.topology, app.num_cores)
-    engine = ExplorationEngine(jobs=args.jobs, cache_backend=args.cache)
-    print(f"minimum link bandwidth per routing function on {topology.name}:")
-    sweep = minimum_bandwidth_per_routing(app, topology, engine=engine)
-    for code, value in sweep.items():
-        text = "unsupported" if value is None else f"{value:8.1f} MB/s"
-        print(f"  {code}: {text}")
-    points, front = area_power_exploration(
-        app,
-        topology,
-        routing=args.routing,
-        constraints=_constraints(args),
-        engine=engine,
-    )
-    print(f"area-power exploration: {len(points)} feasible mappings, "
-          f"{len(front)} Pareto points:")
-    for p in front:
-        print(f"  area {p.area_mm2:7.2f} mm2   power {p.power_mw:7.1f} mW")
-    return 0
+    journal = _journal(args)
+    try:
+        engine = ExplorationEngine(
+            jobs=args.jobs, cache_backend=args.cache, journal=journal
+        )
+        print(
+            f"minimum link bandwidth per routing function on "
+            f"{topology.name}:"
+        )
+        sweep = minimum_bandwidth_per_routing(app, topology, engine=engine)
+        for code, value in sweep.items():
+            text = "unsupported" if value is None else f"{value:8.1f} MB/s"
+            print(f"  {code}: {text}")
+        points, front = area_power_exploration(
+            app,
+            topology,
+            routing=args.routing,
+            constraints=_constraints(args),
+            engine=engine,
+        )
+        print(f"area-power exploration: {len(points)} feasible mappings, "
+              f"{len(front)} Pareto points:")
+        for p in front:
+            print(
+                f"  area {p.area_mm2:7.2f} mm2   power {p.power_mw:7.1f} mW"
+            )
+        return 0
+    finally:
+        _close_journal(journal)
 
 
 def _csv(text: str, cast):
@@ -403,14 +459,19 @@ def _cmd_simulate(args) -> int:
         faults=args.faults,
         fault_seeds=_csv(args.fault_seeds, int),
     )
-    result = run_campaign(
-        topology,
-        core_graph=app,
-        assignment=assignment,
-        config=config,
-        jobs=args.jobs,
-        cache_backend=args.cache,
-    )
+    journal = _journal(args)
+    try:
+        result = run_campaign(
+            topology,
+            core_graph=app,
+            assignment=assignment,
+            config=config,
+            jobs=args.jobs,
+            cache_backend=args.cache,
+            journal=journal,
+        )
+    finally:
+        _close_journal(journal)
     if args.markdown:
         from repro.report import campaign_to_markdown
 
@@ -429,15 +490,20 @@ def cmd_generate(args) -> int:
         topologies = [load_topology(args.topology_file)]
     elif args.topology:
         topologies = [make_topology(args.topology, app.num_cores)]
-    report = run_sunmap(
-        app,
-        routing=args.routing,
-        objective=args.objective,
-        constraints=_constraints(args),
-        topologies=topologies,
-        jobs=args.jobs,
-        cache_backend=args.cache,
-    )
+    journal = _journal(args)
+    try:
+        report = run_sunmap(
+            app,
+            routing=args.routing,
+            objective=args.objective,
+            constraints=_constraints(args),
+            topologies=topologies,
+            jobs=args.jobs,
+            cache_backend=args.cache,
+            journal=journal,
+        )
+    finally:
+        _close_journal(journal)
     print(report.summary())
     if args.output and report.systemc is not None:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -457,7 +523,16 @@ def cmd_serve(args) -> int:
         jobs=args.jobs,
         cache_backend=args.cache,
         batch_window_s=args.batch_window,
+        max_inflight=args.max_inflight,
+        max_request_bytes=args.max_request_bytes,
     )
+    journal = _journal(args)
+    if journal is not None:
+        # The BatchingEngine facade mirrors the inner engine's journal
+        # reference at construction; attach to both so journaled
+        # service computations replay on the next start with --resume.
+        service.engine.inner.journal = journal
+        service.engine.journal = journal
     backend = service.engine.cache.backend
     print(
         f"design service on {args.host}:{args.port} "
@@ -468,6 +543,8 @@ def cmd_serve(args) -> int:
         asyncio.run(service.serve(args.host, args.port))
     except KeyboardInterrupt:
         print("design service stopped", file=sys.stderr)
+    finally:
+        _close_journal(journal)
     return 0
 
 
@@ -685,6 +762,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-window", type=float, default=0.005, metavar="SECONDS",
         help="straggler window for merging concurrent requests into "
         "one engine pass (0 disables the wait)",
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="admission budget: at most N computations in flight; "
+        "excess requests get a retryable typed 'busy' error "
+        "(default: unlimited)",
+    )
+    p.add_argument(
+        "--max-request-bytes", type=int, default=1_048_576, metavar="B",
+        help="largest accepted request line; longer lines get a "
+        "ContractError response and the connection survives",
     )
     _add_jobs(p)
 

@@ -126,6 +126,7 @@ def select_topology(
     engine: ExplorationEngine | None = None,
     synthesize=None,
     cache_backend=None,
+    journal=None,
 ) -> SelectionResult:
     """Map onto every library topology and choose the best.
 
@@ -142,6 +143,10 @@ def select_topology(
         cache_backend: persistent cache storage spec (e.g.
             ``"sqlite:evals.db"``, ``"dir:.cache"``) for the engine
             built when ``engine`` is not given.
+        journal: optional :class:`~repro.engine.journal.RunJournal`;
+            completed evaluations are appended and (on a resume
+            journal) replayed bit-identically, so an interrupted
+            selection resumes instead of restarting.
         synthesize: race automatically synthesized custom fabrics
             against the library in the same table: a
             :class:`~repro.synthesis.SynthesisConfig`, or ``True`` for
@@ -169,9 +174,12 @@ def select_topology(
             "select_topology received an empty topologies list; pass None "
             "for the standard library or at least one topology instance"
         )
-    engine = engine or ExplorationEngine(
-        jobs=jobs, cache_backend=cache_backend
-    )
+    if engine is None:
+        engine = ExplorationEngine(
+            jobs=jobs, cache_backend=cache_backend, journal=journal
+        )
+    elif journal is not None and engine.journal is None:
+        engine.journal = journal
     selection = SelectionResult(
         objective_name=objective_name, routing_code=routing
     )

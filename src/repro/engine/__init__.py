@@ -13,7 +13,11 @@ Public surface:
   (:func:`make_backend` builds one from a spec string); the persistent
   backends carry warm results across processes and CI runs;
 * :func:`make_executor`, :class:`SerialExecutor`,
-  :class:`ProcessExecutor` — the executor plugins.
+  :class:`ProcessExecutor` — the executor plugins;
+* :class:`RetryPolicy` / :class:`JobFailure` / :func:`classify_failure`
+  — the crash-tolerance layer (retries with deterministic backoff,
+  typed terminal failures);
+* :class:`RunJournal` — append-only run journal for resumable sweeps.
 """
 
 from repro.engine.backends import (
@@ -21,6 +25,7 @@ from repro.engine.backends import (
     DirectoryBackend,
     MemoryBackend,
     SQLiteBackend,
+    key_fingerprint,
     make_backend,
 )
 from repro.engine.cache import CacheStats, EvaluationCache
@@ -38,23 +43,38 @@ from repro.engine.jobs import (
     execute_simulation_job,
     run_job,
 )
+from repro.engine.journal import JournalStats, RunJournal, open_journal
+from repro.engine.resilience import (
+    DEFAULT_RETRY_POLICY,
+    JobFailure,
+    RetryPolicy,
+    classify_failure,
+)
 
 __all__ = [
     "CacheBackend",
     "CacheStats",
+    "DEFAULT_RETRY_POLICY",
     "DirectoryBackend",
     "EvaluationCache",
     "EvaluationJob",
     "ExplorationEngine",
+    "JobFailure",
     "JobResult",
+    "JournalStats",
     "MemoryBackend",
     "ProcessExecutor",
+    "RetryPolicy",
+    "RunJournal",
     "SQLiteBackend",
     "SerialExecutor",
     "SimulationJob",
+    "classify_failure",
     "execute_job",
     "execute_simulation_job",
+    "key_fingerprint",
     "make_backend",
     "make_executor",
+    "open_journal",
     "run_job",
 ]

@@ -57,6 +57,21 @@ def key_fingerprint(key: tuple) -> str:
     return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
 
 
+def _log_write_error(count: int, message: str, *args) -> None:
+    """Log a dropped cache write: loudly once, quietly afterwards.
+
+    Silent write failures used to be invisible beyond per-event log
+    noise; now the first one per backend warns (an operator signal —
+    the store may be read-only, full, or locked) and later ones drop to
+    debug, while the backend's ``write_errors`` counter feeds
+    :attr:`repro.engine.cache.CacheStats.write_errors`.
+    """
+    if count == 1:
+        log.warning(message + " (first write failure on this store)", *args)
+    else:
+        log.debug(message, *args)
+
+
 @runtime_checkable
 class CacheBackend(Protocol):
     """Anything that can store evaluation results for the cache.
@@ -179,6 +194,7 @@ class SQLiteBackend:
         self.path = str(path)
         self.timeout_s = timeout_s
         self.corrupt_entries = 0
+        self.write_errors = 0
         self._lock = RLock()
         self._conn: sqlite3.Connection | None = None
         self._connect()
@@ -285,7 +301,9 @@ class SQLiteBackend:
                     (key_fingerprint(key), blob),
                 )
             except sqlite3.DatabaseError as exc:
-                log.warning(
+                self.write_errors += 1
+                _log_write_error(
+                    self.write_errors,
                     "cache write failed on %s (%s); entry dropped",
                     self.path, exc,
                 )
@@ -347,6 +365,7 @@ class DirectoryBackend:
         self.dir = self.root / f"v{SCHEMA_VERSION}"
         self.dir.mkdir(parents=True, exist_ok=True)
         self.corrupt_entries = 0
+        self.write_errors = 0
 
     def _path(self, fp: str) -> Path:
         """Entry path for a fingerprint (2-hex-char fan-out subdirs)."""
@@ -388,8 +407,11 @@ class DirectoryBackend:
             )
             os.replace(tmp, path)
         except OSError as exc:
-            log.warning("cache write failed on %s (%s); entry dropped",
-                        path, exc)
+            self.write_errors += 1
+            _log_write_error(
+                self.write_errors,
+                "cache write failed on %s (%s); entry dropped", path, exc,
+            )
             try:
                 tmp.unlink()
             except OSError:

@@ -33,6 +33,11 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Writes the backend dropped (disk full, locked store, read-only
+    #: filesystem). The cache stays correct — a lost write only costs a
+    #: recompute — but sustained write errors mean the warm store is
+    #: not actually warming, so they are surfaced here.
+    write_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -52,6 +57,8 @@ class CacheStats:
         )
         if self.evictions:
             text += f", {self.evictions} evicted"
+        if self.write_errors:
+            text += f", {self.write_errors} write errors"
         return text
 
 
@@ -129,6 +136,11 @@ class EvaluationCache:
             return  # caching disabled
         with self._lock:
             self.stats.evictions += self.backend.put(key, result)
+            # Persistent backends count writes they had to drop; mirror
+            # the running total so one CacheStats line tells the story.
+            self.stats.write_errors = getattr(
+                self.backend, "write_errors", 0
+            )
 
     def __len__(self) -> int:
         """Number of entries in the underlying store."""

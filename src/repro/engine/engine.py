@@ -16,16 +16,20 @@ completion order and worker count.
 
 from __future__ import annotations
 
+from collections import Counter
 from collections.abc import Sequence
 from itertools import product
 
 from repro.core.constraints import Constraints
 from repro.core.coregraph import CoreGraph
 from repro.core.mapper import MapperConfig
-from repro.engine.backends import make_backend
+from repro.engine.backends import key_fingerprint, make_backend
 from repro.engine.cache import EvaluationCache
 from repro.engine.executors import Executor, make_executor
 from repro.engine.jobs import EvaluationJob, JobResult, SimulationJob, run_job
+from repro.engine.journal import RunJournal
+from repro.engine.resilience import JobFailure, RetryPolicy
+from repro.errors import ReproError
 from repro.topology.base import Topology
 from repro.topology.library import standard_library
 
@@ -47,6 +51,13 @@ class ExplorationEngine:
             spec string (``"sqlite:results.db"``, ``"dir:.cache"``).
             Persistent backends make warm results survive the process:
             a second run of the same sweep performs zero evaluations.
+        journal: optional :class:`~repro.engine.journal.RunJournal`.
+            Completed results are appended to it and replayed (by
+            fingerprint, bit-identically) on later runs — a killed
+            sweep resumes where it died. Failures are never journaled.
+        retry_policy: :class:`~repro.engine.resilience.RetryPolicy` for
+            the executor built from ``jobs`` (ignored when an explicit
+            ``executor`` is passed — configure that executor directly).
     """
 
     def __init__(
@@ -55,9 +66,11 @@ class ExplorationEngine:
         executor: Executor | None = None,
         cache: EvaluationCache | None = None,
         cache_backend=None,
+        journal: RunJournal | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         """Build the engine (see the class docstring for the knobs)."""
-        self.executor = executor or make_executor(jobs)
+        self.executor = executor or make_executor(jobs, policy=retry_policy)
         if cache is None:
             # Not `cache or ...`: an empty cache is falsy (it has __len__).
             cache = (
@@ -66,12 +79,21 @@ class ExplorationEngine:
                 else EvaluationCache(backend=make_backend(cache_backend))
             )
         self.cache = cache
+        self.journal = journal
+        #: Cumulative failure counts by kind (``crash``/``timeout``/
+        #: ``error``) across every ``run`` on this engine.
+        self.failure_stats: Counter = Counter()
+        #: Failures surfaced by the most recent ``run`` call (empty when
+        #: it completed cleanly or raised).
+        self.last_failures: list[JobFailure] = []
 
     # ------------------------------------------------------------------
     # core execution
     # ------------------------------------------------------------------
     def run(
-        self, jobs: Sequence[EvaluationJob | SimulationJob]
+        self,
+        jobs: Sequence[EvaluationJob | SimulationJob],
+        on_failure: str = "raise",
     ) -> list[JobResult]:
         """Execute a batch; results come back in submission order.
 
@@ -81,16 +103,37 @@ class ExplorationEngine:
         executed once and fanned out to every submitter. Results are
         bit-identical across executors: the reduction is by submission
         index, and per-job seeds are content-derived.
+
+        ``on_failure`` decides what a terminal
+        :class:`~repro.engine.resilience.JobFailure` (a job the
+        resilience layer could not complete — retries exhausted or a
+        fatal error) does: ``"raise"`` (default) re-raises the original
+        exception, matching pre-resilience behaviour; ``"skip"``
+        returns the failure in the result list (``ok`` is False) so one
+        poisoned point degrades a sweep instead of killing it.
+        Failures are never cached or journaled. Per-run stats land in
+        :attr:`last_failures` / :attr:`failure_stats`.
         """
+        if on_failure not in ("raise", "skip"):
+            raise ReproError(
+                f"on_failure must be 'raise' or 'skip', got {on_failure!r}"
+            )
         results: list[JobResult | None] = [None] * len(jobs)
         pending: list[tuple[int, EvaluationJob | SimulationJob]] = []
         keys: dict[int, tuple] = {}
         first_index_for_key: dict[tuple, int] = {}
         duplicates: dict[int, list[int]] = {}
+        failures: list[JobFailure] = []
 
         for index, job in enumerate(jobs):
             key = job.cache_key()
             hit = self.cache.get(key)
+            if hit is None and self.journal is not None:
+                hit = self.journal.get(key_fingerprint(key))
+                if hit is not None:
+                    # Promote the replayed result so in-run cache hits
+                    # and the persistent backend see it too.
+                    self.cache.put(key, hit)
             if hit is not None:
                 results[index] = hit.retagged(job.tag, cached=True)
                 continue
@@ -105,15 +148,34 @@ class ExplorationEngine:
             pending.append((index, job.pinned(key)))
 
         for index, result in self.executor.run(run_job, pending):
+            if isinstance(result, JobFailure):
+                # Terminal infrastructure failure: never cached, never
+                # journaled — a flaky worker must not poison warm state.
+                self.failure_stats[result.failure_kind] += 1
+                if on_failure == "raise":
+                    self.last_failures = []
+                    raise result.to_exception()
+                failures.append(result)
+                results[index] = result.retagged(
+                    jobs[index].tag, cached=False
+                )
+                for dup_index in duplicates.get(index, ()):
+                    results[dup_index] = result.retagged(
+                        jobs[dup_index].tag, cached=False
+                    )
+                continue
             # The cache keeps the pristine result; every caller-facing
             # copy goes through retagged() so its collected list is
             # detached from the cached entry.
             self.cache.put(keys[index], result)
+            if self.journal is not None:
+                self.journal.record(key_fingerprint(keys[index]), result)
             results[index] = result.retagged(jobs[index].tag, cached=False)
             for dup_index in duplicates.get(index, ()):
                 results[dup_index] = result.retagged(
                     jobs[dup_index].tag, cached=True
                 )
+        self.last_failures = failures
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
 

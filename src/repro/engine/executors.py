@@ -6,20 +6,45 @@ so correctness never depends on completion order. The process executor
 fans jobs out over :class:`concurrent.futures.ProcessPoolExecutor`; jobs
 carry deterministic seeds (:meth:`EvaluationJob.resolved_seed`), so both
 executors produce bit-identical results.
+
+Both executors run under a :class:`~repro.engine.resilience.RetryPolicy`
+(crash-tolerant execution): transient failures — a worker killed
+mid-job, a per-job wall-clock timeout, an ``OSError`` — are retried with
+deterministic backoff, a broken pool is rebuilt and only the lost jobs
+resubmitted, and a job that exhausts its budget yields a typed
+:class:`~repro.engine.resilience.JobFailure` result instead of tearing
+down the sweep. Retries re-run the same seeded job, so success after a
+retry is bit-identical to first-try success.
 """
 
 from __future__ import annotations
 
 import os
+import time
+from collections import deque
 from collections.abc import Callable, Iterable, Iterator
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Protocol
 
 from repro.engine.jobs import EvaluationJob, JobResult
-from repro.errors import ReproError
+from repro.engine.resilience import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    _failure_kind,
+    classify_failure,
+    failure_from,
+    run_with_retries,
+)
+from repro.errors import JobTimeoutError, ReproError, WorkerCrashError
 
 IndexedJobs = Iterable[tuple[int, EvaluationJob]]
 JobFn = Callable[[EvaluationJob], JobResult]
+
+#: Destination queues for a retried job (see ``_Pending.dest``): ``MAIN``
+#: is the shared pool, ``QUARANTINE`` the one-worker isolation pool for
+#: crash/timeout suspects.
+_MAIN, _QUARANTINE = "main", "quarantine"
 
 
 class Executor(Protocol):
@@ -35,16 +60,36 @@ class Executor(Protocol):
 
 
 class SerialExecutor:
-    """Run every job inline, in submission order (the reference path)."""
+    """Run every job inline, in submission order (the reference path).
+
+    Shares the process executor's retry semantics for transient in-job
+    failures; per-job timeouts cannot be preempted in-process and are
+    ignored (documented on :class:`RetryPolicy`).
+    """
 
     name = "serial"
+
+    def __init__(self, policy: RetryPolicy | None = None):
+        """Create the executor under ``policy`` (``None`` = defaults)."""
+        self.policy = policy or DEFAULT_RETRY_POLICY
 
     def run(
         self, fn: JobFn, indexed_jobs: IndexedJobs
     ) -> Iterator[tuple[int, JobResult]]:
         """Execute each job inline and yield its result immediately."""
         for index, job in indexed_jobs:
-            yield index, fn(job)
+            yield index, run_with_retries(fn, job, self.policy)
+
+
+class _Inflight:
+    """Bookkeeping for one submitted future."""
+
+    __slots__ = ("index", "attempt", "deadline")
+
+    def __init__(self, index: int, attempt: int, deadline: float | None):
+        self.index = index
+        self.attempt = attempt
+        self.deadline = deadline
 
 
 class ProcessExecutor:
@@ -53,15 +98,41 @@ class ProcessExecutor:
     Worker count defaults to the machine's CPU count. Each ``run`` call
     opens and drains its own pool, so the executor object itself stays
     picklable and reusable.
+
+    Dispatch is a bounded scheduler rather than a fire-and-forget
+    ``submit`` loop: at most ``max_workers`` jobs are in flight at once,
+    the rest wait in the executor's own queue. The bound is what makes
+    failure attribution possible — when a worker dies and the pool
+    breaks, only the in-flight jobs are suspects; queued jobs are
+    resubmitted to the rebuilt pool without being charged an attempt.
+    A lone suspect is charged directly; suspects from a multi-job
+    breakage are re-run through a one-worker *quarantine* pool, one at
+    a time, so the next crash identifies the culprit exactly and
+    innocent neighbours never burn their own retry budget on someone
+    else's bomb.
+
+    Per-job timeouts (``policy.timeout_s``) are enforced through the
+    pool future's deadline: an expired job's worker is killed (the only
+    way to reclaim the slot), the job is charged a
+    :class:`~repro.errors.JobTimeoutError` attempt and quarantined for
+    its retry, and the other in-flight jobs are resubmitted uncharged.
     """
 
     name = "process"
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        policy: RetryPolicy | None = None,
+    ):
         """Create the executor (``None`` = one worker per CPU)."""
         if max_workers is not None and max_workers < 1:
             raise ReproError("process executor needs at least one worker")
         self.max_workers = max_workers or os.cpu_count() or 1
+        self.policy = policy or DEFAULT_RETRY_POLICY
+        #: Pools rebuilt after a crash or timeout kill (observability;
+        #: cumulative across ``run`` calls).
+        self.pool_rebuilds = 0
 
     def run(
         self, fn: JobFn, indexed_jobs: IndexedJobs
@@ -70,35 +141,294 @@ class ProcessExecutor:
         indexed = list(indexed_jobs)
         if not indexed:
             return
-        if len(indexed) == 1:
-            # A pool for one job is pure overhead.
+        if len(indexed) == 1 and self.policy.timeout_s is None:
+            # A pool for one job is pure overhead — but the job still
+            # runs under the same retry/failure-capture wrapper, so
+            # behaviour does not depend on sweep size. (With a timeout
+            # configured, the pool path runs even for one job: a wall
+            # clock needs a killable worker.)
             index, job = indexed[0]
-            yield index, fn(job)
+            yield index, run_with_retries(fn, job, self.policy)
             return
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = {
-                pool.submit(fn, job): index for index, job in indexed
-            }
-            for future in as_completed(futures):
-                yield futures[future], future.result()
+        yield from self._run_pool(fn, indexed)
+
+    # ------------------------------------------------------------------
+    # pool scheduler
+    # ------------------------------------------------------------------
+    def _run_pool(
+        self, fn: JobFn, indexed: list[tuple[int, EvaluationJob]]
+    ) -> Iterator[tuple[int, JobResult]]:
+        """Crash-tolerant bounded dispatch over rebuildable pools."""
+        policy = self.policy
+        jobs = dict(indexed)
+        waiting: deque[tuple[int, int]] = deque(
+            (index, 1) for index, _ in indexed
+        )
+        quarantine: deque[tuple[int, int]] = deque()
+        delayed: list[tuple[float, int, int, str]] = []
+        inflight: dict[object, _Inflight] = {}
+        solo_inflight: dict[object, _Inflight] = {}
+        pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        solo: ProcessPoolExecutor | None = None
+        completed = False
+        try:
+            while (
+                waiting or quarantine or delayed
+                or inflight or solo_inflight
+            ):
+                now = time.monotonic()
+                delayed.sort()
+                while delayed and delayed[0][0] <= now:
+                    _, index, attempt, dest = delayed.pop(0)
+                    target = quarantine if dest == _QUARANTINE else waiting
+                    target.append((index, attempt))
+                while waiting and len(inflight) < self.max_workers:
+                    index, attempt = waiting.popleft()
+                    try:
+                        self._submit(
+                            pool, fn, jobs[index], index, attempt, inflight
+                        )
+                    except BrokenProcessPool:
+                        # Broke while idle; rebuild and resubmit.
+                        waiting.appendleft((index, attempt))
+                        pool = self._rebuild(pool, inflight, waiting)
+                if quarantine and not solo_inflight:
+                    if solo is None:
+                        solo = ProcessPoolExecutor(max_workers=1)
+                    index, attempt = quarantine.popleft()
+                    try:
+                        self._submit(
+                            solo, fn, jobs[index], index, attempt,
+                            solo_inflight,
+                        )
+                    except BrokenProcessPool:
+                        quarantine.appendleft((index, attempt))
+                        self._shutdown(solo, kill=True)
+                        solo = None
+                if not inflight and not solo_inflight:
+                    if delayed:
+                        time.sleep(max(0.0, delayed[0][0] - now))
+                    continue
+                done, _ = wait(
+                    list(inflight) + list(solo_inflight),
+                    timeout=self._wait_timeout(
+                        inflight, solo_inflight, delayed, now
+                    ),
+                    return_when=FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                main_crashed: list[_Inflight] = []
+                solo_crashed: list[_Inflight] = []
+                for future in done:
+                    if future in inflight:
+                        entry, from_solo = inflight.pop(future), False
+                    else:
+                        entry, from_solo = solo_inflight.pop(future), True
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        (solo_crashed if from_solo else main_crashed).append(
+                            entry
+                        )
+                    except Exception as exc:  # noqa: BLE001 - classified
+                        outcome = self._retry_or_fail(
+                            jobs, entry, exc, delayed, now, dest=_MAIN
+                        )
+                        if outcome is not None:
+                            yield entry.index, outcome
+                    else:
+                        yield entry.index, result
+
+                if main_crashed:
+                    # Every in-flight main-pool job died with the pool:
+                    # the ones wait() had not reported yet are equally
+                    # lost. A lone suspect is charged; several suspects
+                    # go to quarantine uncharged for exact attribution.
+                    main_crashed.extend(inflight.values())
+                    inflight.clear()
+                    yield from self._crashed(
+                        jobs, main_crashed, quarantine, delayed, now
+                    )
+                    pool = self._rebuild(pool, inflight, waiting)
+                if solo_crashed:
+                    # The quarantine pool runs one job: culprit known.
+                    yield from self._crashed(
+                        jobs, solo_crashed, quarantine, delayed, now
+                    )
+                    self._shutdown(solo, kill=True)
+                    solo = None
+                    self.pool_rebuilds += 1
+
+                expired = [
+                    (future, entry)
+                    for future, entry in inflight.items()
+                    if entry.deadline is not None
+                    and entry.deadline <= now
+                    and not future.done()
+                ]
+                if expired:
+                    for future, entry in expired:
+                        del inflight[future]
+                        outcome = self._timed_out(jobs, entry, delayed, now)
+                        if outcome is not None:
+                            yield entry.index, outcome
+                    # Killing the stuck worker breaks the whole pool;
+                    # the other in-flight jobs are innocent — resubmit
+                    # them uncharged.
+                    pool = self._rebuild(pool, inflight, waiting)
+                solo_expired = [
+                    (future, entry)
+                    for future, entry in solo_inflight.items()
+                    if entry.deadline is not None
+                    and entry.deadline <= now
+                    and not future.done()
+                ]
+                if solo_expired:
+                    for future, entry in solo_expired:
+                        del solo_inflight[future]
+                        outcome = self._timed_out(jobs, entry, delayed, now)
+                        if outcome is not None:
+                            yield entry.index, outcome
+                    self._shutdown(solo, kill=True)
+                    solo = None
+                    self.pool_rebuilds += 1
+            completed = True
+        finally:
+            self._shutdown(pool, kill=not completed)
+            if solo is not None:
+                self._shutdown(solo, kill=not completed)
+
+    # -- helpers -----------------------------------------------------------
+    def _submit(
+        self, pool, fn, job, index: int, attempt: int, table: dict
+    ) -> None:
+        """Submit one job and record its in-flight bookkeeping."""
+        future = pool.submit(fn, job)
+        deadline = (
+            None
+            if self.policy.timeout_s is None
+            else time.monotonic() + self.policy.timeout_s
+        )
+        table[future] = _Inflight(index, attempt, deadline)
+
+    def _rebuild(self, pool, inflight: dict, waiting: deque):
+        """Kill a broken pool; recover its lost jobs uncharged."""
+        for entry in inflight.values():
+            waiting.append((entry.index, entry.attempt))
+        inflight.clear()
+        self._shutdown(pool, kill=True)
+        self.pool_rebuilds += 1
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+    @staticmethod
+    def _shutdown(pool, kill: bool) -> None:
+        """Shut a pool down; ``kill=True`` terminates worker processes.
+
+        Termination is the only way to reclaim workers running wedged
+        or abandoned jobs; ``_processes`` is stdlib-internal but stable,
+        and guarded so a refactor degrades to a plain shutdown.
+        """
+        if kill:
+            for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    proc.terminate()
+                except Exception:  # noqa: BLE001 - already exiting
+                    pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - shutdown is best-effort
+            pass
+
+    @staticmethod
+    def _wait_timeout(
+        inflight: dict, solo_inflight: dict, delayed: list, now: float
+    ) -> float | None:
+        """How long ``wait`` may block before a deadline needs service."""
+        horizon: float | None = None
+        for table in (inflight, solo_inflight):
+            for entry in table.values():
+                if entry.deadline is not None and (
+                    horizon is None or entry.deadline < horizon
+                ):
+                    horizon = entry.deadline
+        if delayed and (horizon is None or delayed[0][0] < horizon):
+            horizon = delayed[0][0]
+        return None if horizon is None else max(0.0, horizon - now)
+
+    def _retry_or_fail(
+        self,
+        jobs: dict,
+        entry: _Inflight,
+        exc: BaseException,
+        delayed: list,
+        now: float,
+        dest: str,
+    ):
+        """Schedule a retry under the policy, or return a failure."""
+        job = jobs[entry.index]
+        if classify_failure(exc) and entry.attempt < self.policy.max_attempts:
+            seed = getattr(job, "resolved_seed", lambda: 0)()
+            ready = now + self.policy.delay_s(entry.attempt, seed)
+            delayed.append((ready, entry.index, entry.attempt + 1, dest))
+            return None
+        return failure_from(job, exc, entry.attempt, _failure_kind(exc))
+
+    def _crashed(self, jobs, crashed, quarantine, delayed, now):
+        """Account for jobs lost to a dead worker.
+
+        A single suspect is the proven culprit: charge the attempt (and
+        retry it in quarantine, where its next crash cannot take
+        neighbours down). Multiple suspects are indistinguishable: all
+        go to quarantine *uncharged*, where crashes are attributable.
+        """
+        if len(crashed) == 1:
+            entry = crashed[0]
+            exc = WorkerCrashError(
+                "worker process died while running job "
+                f"{getattr(jobs[entry.index], 'tag', '') or entry.index!r}"
+            )
+            outcome = self._retry_or_fail(
+                jobs, entry, exc, delayed, now, dest=_QUARANTINE
+            )
+            if outcome is not None:
+                yield entry.index, outcome
+            return
+        for entry in crashed:
+            quarantine.append((entry.index, entry.attempt))
+
+    def _timed_out(self, jobs, entry: _Inflight, delayed: list, now: float):
+        """Charge a job that exceeded its wall-clock budget."""
+        exc = JobTimeoutError(
+            f"job {getattr(jobs[entry.index], 'tag', '') or entry.index!r} "
+            f"exceeded its {self.policy.timeout_s:g}s wall-clock budget"
+        )
+        return self._retry_or_fail(
+            jobs, entry, exc, delayed, now, dest=_QUARANTINE
+        )
 
 
-def make_executor(jobs: int | None = None, name: str | None = None) -> Executor:
+def make_executor(
+    jobs: int | None = None,
+    name: str | None = None,
+    policy: RetryPolicy | None = None,
+) -> Executor:
     """Build an executor from a ``--jobs``-style count or an explicit name.
 
     ``jobs=1`` (or ``None``) → serial; ``jobs>1`` → process pool with
     that many workers; ``jobs=0`` → process pool sized to the machine.
+    ``policy`` configures retry/timeout resilience (``None`` =
+    :data:`~repro.engine.resilience.DEFAULT_RETRY_POLICY`).
     """
     if name is not None:
         if name == "serial":
-            return SerialExecutor()
+            return SerialExecutor(policy=policy)
         if name == "process":
-            return ProcessExecutor(max_workers=jobs or None)
+            return ProcessExecutor(max_workers=jobs or None, policy=policy)
         raise ReproError(
             f"unknown executor {name!r}; choose from ['serial', 'process']"
         )
     if jobs is None or jobs == 1:
-        return SerialExecutor()
+        return SerialExecutor(policy=policy)
     if jobs < 0:
         raise ReproError(f"jobs must be >= 0, got {jobs}")
-    return ProcessExecutor(max_workers=jobs or None)
+    return ProcessExecutor(max_workers=jobs or None, policy=policy)

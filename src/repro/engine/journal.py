@@ -1,0 +1,228 @@
+"""Append-only run journal: resumable sweeps without a cache server.
+
+A :class:`RunJournal` records every *completed* job result of a run as
+one JSONL line — fingerprint-keyed like the persistent cache backends,
+appended atomically (single ``write`` + flush per record) so a SIGKILL
+mid-run loses at most the line being written. Re-running the same
+command with ``resume=True`` (CLI: ``--journal PATH --resume``) replays
+the completed fingerprints bit-identically and recomputes only the
+remainder: a killed 2000-point campaign resumes where it died.
+
+The journal differs from a cache backend on purpose:
+
+* it is scoped to one run artifact (a file you can ship, inspect and
+  delete), not a shared store;
+* it is loaded eagerly so resume works even when the engine's cache is
+  in-memory and empty;
+* a corrupt tail (the torn last line of a killed run) is detected and
+  truncated, never trusted — everything before it replays.
+
+Failures (:class:`~repro.engine.resilience.JobFailure`) are never
+journaled: a transient infrastructure problem must not be replayed as
+a result on resume.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import logging
+import pickle
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine.jobs import JobResult
+from repro.errors import ReproError
+
+logger = logging.getLogger(__name__)
+
+_FORMAT = "repro-journal-v1"
+
+
+@dataclass(frozen=True)
+class JournalStats:
+    """Counters describing one journal's lifetime."""
+
+    #: Results loaded from an existing journal on resume.
+    loaded: int = 0
+    #: Loaded results actually served to the engine this run.
+    replayed: int = 0
+    #: New results appended this run.
+    recorded: int = 0
+    #: Corrupt/torn tail lines discarded (and truncated) on resume.
+    truncated: int = 0
+
+    def __str__(self):
+        """Human-readable one-liner for logs and CLI summaries."""
+        return (
+            f"journal: {self.loaded} loaded, {self.replayed} replayed, "
+            f"{self.recorded} recorded, {self.truncated} truncated"
+        )
+
+
+class RunJournal:
+    """Fingerprint-keyed JSONL journal of completed job results.
+
+    Args:
+        path: journal file; parent directories are created.
+        resume: load existing records and append to them. ``False`` (a
+            fresh run) truncates any prior file so stale results from an
+            unrelated run can never replay.
+    """
+
+    def __init__(self, path, resume: bool = False):
+        """Open (and on resume, load) the journal at ``path``."""
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._results: dict[str, JobResult] = {}
+        self._lock = threading.Lock()
+        self._loaded = 0
+        self._replayed = 0
+        self._recorded = 0
+        self._truncated = 0
+        if resume and self.path.exists():
+            self._load()
+        self._fh = open(  # noqa: SIM115 - lifetime spans the run
+            self.path, "ab" if resume else "wb"
+        )
+
+    # ------------------------------------------------------------------
+    # replay / record
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> JobResult | None:
+        """The journaled result for ``fingerprint``, or ``None``.
+
+        Served results are pristine (no tag), exactly as the executor
+        produced them — callers retag per submission like cache hits,
+        so a resumed run is bit-identical to an uninterrupted one.
+        """
+        with self._lock:
+            result = self._results.get(fingerprint)
+            if result is not None:
+                self._replayed += 1
+            return result
+
+    def record(self, fingerprint: str, result: JobResult) -> None:
+        """Append one completed result (atomic single-line write)."""
+        blob = base64.b64encode(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii")
+        line = json.dumps(
+            {
+                "format": _FORMAT,
+                "fingerprint": fingerprint,
+                "tag": result.tag,
+                "result": blob,
+            },
+            separators=(",", ":"),
+        )
+        with self._lock:
+            self._results[fingerprint] = result
+            self._fh.write(line.encode("utf-8") + b"\n")
+            self._fh.flush()
+            self._recorded += 1
+
+    def __contains__(self, fingerprint: str) -> bool:
+        """Whether ``fingerprint`` has a journaled result."""
+        with self._lock:
+            return fingerprint in self._results
+
+    def __len__(self) -> int:
+        """Number of distinct journaled results."""
+        with self._lock:
+            return len(self._results)
+
+    @property
+    def stats(self) -> JournalStats:
+        """Current :class:`JournalStats` snapshot."""
+        with self._lock:
+            return JournalStats(
+                loaded=self._loaded,
+                replayed=self._replayed,
+                recorded=self._recorded,
+                truncated=self._truncated,
+            )
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                self._fh.close()
+
+    def __enter__(self):
+        """Context-manager entry (returns the journal)."""
+        return self
+
+    def __exit__(self, *exc_info):
+        """Close on context-manager exit."""
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        """Load the valid record prefix; truncate a torn tail in place."""
+        valid_end = 0
+        data = self.path.read_bytes()
+        offset = 0
+        for raw in data.splitlines(keepends=True):
+            end = offset + len(raw)
+            record = self._parse(raw)
+            if record is None or not raw.endswith(b"\n"):
+                # Torn or corrupt: everything from here on is untrusted.
+                break
+            fingerprint, result = record
+            self._results[fingerprint] = result
+            self._loaded += 1
+            valid_end = end
+            offset = end
+        tail = data[valid_end:]
+        if tail:
+            self._truncated = tail.count(b"\n") + (
+                0 if tail.endswith(b"\n") else 1
+            )
+            logger.warning(
+                "journal %s: discarding %d corrupt trailing record(s) "
+                "(%d bytes)",
+                self.path,
+                self._truncated,
+                len(tail),
+            )
+            with open(self.path, "r+b") as fh:
+                fh.truncate(valid_end)
+
+    @staticmethod
+    def _parse(raw: bytes):
+        """Decode one journal line, or ``None`` when it is corrupt."""
+        try:
+            record = json.loads(raw.decode("utf-8"))
+            if record.get("format") != _FORMAT:
+                return None
+            fingerprint = record["fingerprint"]
+            result = pickle.loads(base64.b64decode(record["result"]))
+        except Exception:  # noqa: BLE001 - any damage means "stop here"
+            return None
+        if not isinstance(fingerprint, str) or not isinstance(
+            result, JobResult
+        ):
+            return None
+        return fingerprint, result
+
+
+def open_journal(
+    path, resume: bool = False
+) -> RunJournal | None:
+    """CLI helper: build a journal from ``--journal``/``--resume`` flags.
+
+    Returns ``None`` when ``path`` is falsy so callers can pass the
+    result straight through as ``journal=``. ``resume`` without a path
+    is a usage error.
+    """
+    if not path:
+        if resume:
+            raise ReproError("--resume requires --journal PATH")
+        return None
+    return RunJournal(path, resume=resume)

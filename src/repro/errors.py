@@ -57,8 +57,64 @@ class GenerationError(ReproError):
     """Raised when SystemC generation is asked for an incomplete design."""
 
 
+class RetryableError(ReproError):
+    """Base class for transient infrastructure failures worth retrying.
+
+    The resilience layer (:mod:`repro.engine.resilience`) re-runs a job
+    whose failure is retryable — a crashed worker, an exceeded
+    wall-clock budget, a flaky filesystem — because the job itself is
+    deterministic: success after a retry is bit-identical to first-try
+    success. Domain errors (an infeasible mapping, an unroutable
+    fabric) are *not* retryable: re-running deterministic work cannot
+    change a deterministic answer.
+    """
+
+
+class WorkerCrashError(RetryableError):
+    """Raised when a worker process died mid-job (broken process pool).
+
+    The pool is rebuilt and the lost jobs resubmitted; a job that keeps
+    crashing its worker exhausts its retry budget and surfaces as a
+    :class:`~repro.engine.resilience.JobFailure`.
+    """
+
+
+class JobTimeoutError(RetryableError):
+    """Raised when a job exceeded its per-job wall-clock budget.
+
+    The stuck worker is killed (reclaiming the pool slot) and the job
+    is retried under the policy like any other transient failure.
+    """
+
+
+class JobFailedError(ReproError):
+    """Raised when a job failed permanently (retries exhausted or fatal).
+
+    ``ExplorationEngine.run(on_failure="raise")`` — the default — maps a
+    :class:`~repro.engine.resilience.JobFailure` result back to the
+    original exception when one was captured, and to this class
+    otherwise; ``on_failure="skip"`` returns the failure in the result
+    list instead.
+    """
+
+
 class ServiceError(ReproError):
     """Raised for design-service failures (server setup, transport)."""
+
+
+class ServiceBusyError(ServiceError, RetryableError):
+    """Raised when the service's in-flight job budget is exhausted.
+
+    Maps to the wire contract's typed ``busy`` error: the request was
+    *not* admitted (nothing was computed), so the client should retry
+    after :attr:`retry_after_s` seconds. Subclasses
+    :class:`RetryableError` because retrying is exactly the remedy.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        """Create the error with a client backoff hint in seconds."""
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class ContractError(ServiceError):

@@ -30,14 +30,15 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 
-from repro.errors import ContractError
+from repro.errors import ContractError, RetryableError, ServiceBusyError
 
 #: Contract version carried in every envelope; a request with another
 #: version is rejected (the server cannot guess what its fields mean).
 CONTRACT_VERSION = 1
 
-#: Request kinds the service accepts.
-KINDS = ("select", "synthesize", "campaign")
+#: Request kinds the service accepts. ``health`` is the operational
+#: probe: no engine work, returns in-flight/budget/cache statistics.
+KINDS = ("select", "synthesize", "campaign", "health")
 
 #: Cache-control values: ``default`` serves warm results and joins
 #: in-flight duplicates; ``refresh`` recomputes and overwrites warm
@@ -142,7 +143,14 @@ PARAM_SCHEMAS = {
                 "type": "array", "minItems": 1,
                 "items": {"type": "integer"},
             },
+            "deadline_s": {"type": "number", "exclusiveMinimum": 0},
         },
+    },
+    # The health probe takes no parameters (send "params": {}).
+    "health": {
+        "type": "object",
+        "additionalProperties": False,
+        "properties": {},
     },
 }
 
@@ -178,7 +186,11 @@ PARAM_DEFAULTS = {
         "drain": 1500,
         "faults": 0,
         "fault_seeds": [1],
+        # deadline_s intentionally has no default: absence means "run
+        # the whole sweep", and a normalized default would change every
+        # existing campaign fingerprint.
     },
+    "health": {},
 }
 
 
@@ -330,7 +342,7 @@ def parse_request(payload: dict) -> DesignRequest:
                 "$.params: provide exactly one of 'app' (built-in name) "
                 "or 'core_graph' (inline document)"
             )
-    else:  # campaign
+    elif kind == "campaign":
         if has_app and has_inline:
             raise ContractError(
                 "$.params: provide at most one of 'app' and 'core_graph'"
@@ -419,10 +431,20 @@ def error_response(
 
     The ``type`` field is the exception class name (clients branch on
     the :mod:`repro.errors` hierarchy names); ``message`` is the
-    human-readable reason.
+    human-readable reason. Transient failures additionally carry
+    ``retryable: true``, and an admission-control rejection
+    (:class:`~repro.errors.ServiceBusyError`) is the typed ``busy``
+    error: ``code: "busy"`` plus a ``retry_after_s`` backoff hint —
+    nothing was computed, resubmitting the same request is safe.
     """
+    error: dict = {"type": type(exc).__name__, "message": str(exc)}
+    if isinstance(exc, RetryableError):
+        error["retryable"] = True
+    if isinstance(exc, ServiceBusyError):
+        error["code"] = "busy"
+        error["retry_after_s"] = round(exc.retry_after_s, 3)
     return DesignResponse(
         kind=kind or "unknown",
         request_id=request_id,
-        error={"type": type(exc).__name__, "message": str(exc)},
+        error=error,
     )

@@ -33,6 +33,8 @@ from threading import Event, Lock
 
 from repro.engine.engine import ExplorationEngine
 from repro.engine.jobs import JobResult
+from repro.engine.resilience import JobFailure
+from repro.errors import ReproError
 
 
 class InFlightTable:
@@ -90,11 +92,12 @@ class InFlightTable:
 class _Submission:
     """One ``run()`` call waiting for its slice of a merged batch."""
 
-    __slots__ = ("jobs", "results", "exception", "done")
+    __slots__ = ("jobs", "on_failure", "results", "exception", "done")
 
-    def __init__(self, jobs: list):
+    def __init__(self, jobs: list, on_failure: str = "raise"):
         """Wrap one caller's job list ahead of the merge."""
         self.jobs = jobs
+        self.on_failure = on_failure
         self.results: list[JobResult] | None = None
         self.exception: BaseException | None = None
         self.done = Event()
@@ -121,6 +124,11 @@ class BatchingEngine(ExplorationEngine):
         self.window_s = window_s
         self.executor = inner.executor
         self.cache = inner.cache
+        self.journal = inner.journal
+        # Failure stats accumulate on the inner engine (the merged
+        # passes run there); expose the same counter object.
+        self.failure_stats = inner.failure_stats
+        self.last_failures = inner.last_failures
         self._mutex = Lock()          # guards _pending
         self._flush_lock = Lock()     # held by the current leader
         self._pending: list[_Submission] = []
@@ -129,16 +137,26 @@ class BatchingEngine(ExplorationEngine):
         self.batched_requests = 0
         self.largest_batch = 0
 
-    def run(self, jobs) -> list[JobResult]:
+    def run(self, jobs, on_failure: str = "raise") -> list[JobResult]:
         """Execute a batch, possibly merged with concurrent callers' work.
 
         Results are the caller's own submission slice, in its submission
         order — indistinguishable from ``inner.run(jobs)``.
+
+        ``on_failure`` applies to the *caller's slice only*: the merged
+        inner pass always runs with ``on_failure="skip"`` so one
+        request's infrastructure failure cannot poison co-batched
+        requests, then each submission's own policy decides whether its
+        slice raises or keeps the typed failures.
         """
+        if on_failure not in ("raise", "skip"):
+            raise ReproError(
+                f"on_failure must be 'raise' or 'skip', got {on_failure!r}"
+            )
         jobs = list(jobs)
         if not jobs:
             return []
-        submission = _Submission(jobs)
+        submission = _Submission(jobs, on_failure)
         with self._mutex:
             self._pending.append(submission)
         while True:
@@ -178,7 +196,10 @@ class BatchingEngine(ExplorationEngine):
         self.batched_requests += len(batch)
         self.largest_batch = max(self.largest_batch, len(batch))
         try:
-            results = self.inner.run(merged)
+            # Always skip inside the merged pass: a JobFailure belongs
+            # to exactly one submission's slice, and only that
+            # submission's on_failure policy may turn it into a raise.
+            results = self.inner.run(merged, on_failure="skip")
         except BaseException as exc:
             for submission in batch:
                 submission.exception = exc
@@ -186,6 +207,15 @@ class BatchingEngine(ExplorationEngine):
             return
         offset = 0
         for submission in batch:
-            submission.results = results[offset:offset + len(submission.jobs)]
+            chunk = results[offset:offset + len(submission.jobs)]
             offset += len(submission.jobs)
+            if submission.on_failure == "raise":
+                failed = next(
+                    (r for r in chunk if isinstance(r, JobFailure)), None
+                )
+                if failed is not None:
+                    submission.exception = failed.to_exception()
+                    submission.done.set()
+                    continue
+            submission.results = chunk
             submission.done.set()

@@ -2,14 +2,22 @@
 
 :class:`DesignService` is the front door the ROADMAP's service layer
 asks for: it accepts concurrent design requests (``select`` /
-``synthesize`` / ``campaign``), validates them against the contract
-(:mod:`repro.service.contract`), dedupes identical requests in flight
+``synthesize`` / ``campaign``, plus the ``health`` probe), validates
+them against the contract (:mod:`repro.service.contract`), dedupes
+identical requests in flight
 (:class:`~repro.service.jobqueue.InFlightTable`), batches the engine
 jobs of overlapping requests into single executor passes
 (:class:`~repro.service.jobqueue.BatchingEngine`), and streams each
 response as soon as its computation lands — over a newline-delimited
 JSON TCP protocol (:meth:`DesignService.serve`) or directly in-process
 (:meth:`DesignService.handle`, which is also what the tests drive).
+
+The service degrades before it collapses: an optional ``max_inflight``
+budget rejects over-capacity computations with the typed retryable
+``busy`` error (dedup joiners stay free), campaign requests honour a
+per-request ``deadline_s`` by returning partial results flagged
+``degraded``, and oversized request lines get a clean ``ContractError``
+response instead of a dropped connection.
 
 Every handler calls the exact public flow a direct caller would —
 :func:`~repro.sunmap.run_sunmap`,
@@ -39,7 +47,7 @@ from repro.core.greedy import initial_greedy_mapping
 from repro.core.selector import select_topology
 from repro.engine.cache import EvaluationCache
 from repro.engine.engine import ExplorationEngine
-from repro.errors import ContractError, ReproError
+from repro.errors import ContractError, ReproError, ServiceBusyError
 from repro.io import (
     core_graph_from_dict,
     custom_topology_from_dict,
@@ -78,6 +86,16 @@ class DesignService:
             earlier process cost zero evaluations.
         batch_window_s: straggler window of the job batcher (see
             :class:`~repro.service.jobqueue.BatchingEngine`).
+        max_inflight: admission-control budget — the number of request
+            *computations* allowed to run concurrently (in-flight dedup
+            joiners are free: they cost no engine work). Past the
+            budget, new computations are rejected with the typed
+            retryable ``busy`` error instead of being queued without
+            bound. ``None`` (default) disables admission control.
+        max_request_bytes: largest accepted request line on the TCP
+            transport; an oversized line gets a clean ``ContractError``
+            response (and the connection survives) instead of an
+            asyncio ``LimitOverrunError`` connection drop.
     """
 
     def __init__(
@@ -86,18 +104,34 @@ class DesignService:
         jobs: int = 1,
         cache_backend=None,
         batch_window_s: float = 0.005,
+        max_inflight: int | None = None,
+        max_request_bytes: int = 1_048_576,
     ):
         """Build the service (see the class docstring for the knobs)."""
+        if max_inflight is not None and max_inflight < 1:
+            raise ReproError("max_inflight must be at least 1")
+        if max_request_bytes < 1024:
+            raise ReproError("max_request_bytes must be at least 1024")
         inner = engine or ExplorationEngine(
             jobs=jobs, cache_backend=cache_backend
         )
         self.engine = BatchingEngine(inner, window_s=batch_window_s)
         self.inflight = InFlightTable()
         self._ids = itertools.count(1)
+        self.max_inflight = max_inflight
+        self.max_request_bytes = max_request_bytes
         #: Requests received (including invalid ones).
         self.requests = 0
         #: Requests actually computed (excludes in-flight dedup joins).
         self.computed = 0
+        #: Requests rejected by admission control.
+        self.busy_rejections = 0
+        #: Computations currently admitted (all state below is mutated
+        #: on the event-loop thread only, so plain ints suffice).
+        self._admitted = 0
+        #: EWMA of recent compute times, feeding the busy response's
+        #: ``retry_after_s`` hint.
+        self._ewma_compute_s: float | None = None
 
     # ------------------------------------------------------------------
     # request handling
@@ -124,6 +158,12 @@ class DesignService:
             if request.request_id is not None
             else f"req-{next(self._ids)}"
         )
+        if request.kind == "health":
+            # Operational probe: answered on the event loop, never
+            # admitted (a saturated service must still report itself).
+            return DesignResponse(
+                kind="health", request_id=request_id, result=self.health()
+            ).to_dict()
         start = perf_counter()
         deduped = False
         try:
@@ -132,9 +172,7 @@ class DesignService:
                 future, owner = self.inflight.join(fingerprint)
                 if owner:
                     try:
-                        result = await asyncio.to_thread(
-                            self._compute, request
-                        )
+                        result = await self._compute_admitted(request)
                     except BaseException as exc:
                         self.inflight.reject(fingerprint, exc)
                         raise
@@ -145,7 +183,7 @@ class DesignService:
             else:
                 # refresh/bypass explicitly ask for a fresh computation,
                 # so they never join (or seed) the in-flight table.
-                result = await asyncio.to_thread(self._compute, request)
+                result = await self._compute_admitted(request)
         except ReproError as exc:
             response = error_response(request.kind, request_id, exc)
             response.stats = {"deduped": deduped}
@@ -157,6 +195,65 @@ class DesignService:
             result=result,
             stats={"elapsed_ms": round(elapsed_ms, 3), "deduped": deduped},
         ).to_dict()
+
+    async def _compute_admitted(self, request: DesignRequest) -> dict:
+        """Admit one computation against the budget, then run it.
+
+        Called on the event-loop thread, so the admit/release counter
+        needs no lock. Over budget, the request is rejected with the
+        typed retryable ``busy`` error — nothing was computed, and
+        ``retry_after_s`` estimates when a slot should free up.
+        """
+        if (
+            self.max_inflight is not None
+            and self._admitted >= self.max_inflight
+        ):
+            self.busy_rejections += 1
+            raise ServiceBusyError(
+                f"service at capacity: {self._admitted}/"
+                f"{self.max_inflight} computations in flight; retry later",
+                retry_after_s=self._retry_hint(),
+            )
+        self._admitted += 1
+        start = perf_counter()
+        try:
+            return await asyncio.to_thread(self._compute, request)
+        finally:
+            self._admitted -= 1
+            elapsed = perf_counter() - start
+            self._ewma_compute_s = (
+                elapsed
+                if self._ewma_compute_s is None
+                else 0.7 * self._ewma_compute_s + 0.3 * elapsed
+            )
+
+    def _retry_hint(self) -> float:
+        """Backoff hint for busy responses (recent compute-time EWMA)."""
+        if self._ewma_compute_s is None:
+            return 1.0
+        return min(30.0, max(0.05, self._ewma_compute_s))
+
+    def health(self) -> dict:
+        """The ``health`` probe payload: load, budget and cache stats."""
+        stats = self.engine.cache.stats
+        return {
+            "status": "ok",
+            "in_flight": self._admitted,
+            "max_inflight": self.max_inflight,
+            "deduping": len(self.inflight),
+            "requests": self.requests,
+            "computed": self.computed,
+            "busy_rejections": self.busy_rejections,
+            "cache": {
+                "entries": len(self.engine.cache),
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "write_errors": stats.write_errors,
+            },
+            "job_failures": dict(self.engine.failure_stats),
+            "batches": self.engine.batches,
+        }
 
     def _compute(self, request: DesignRequest) -> dict:
         """Run one request's flow on a worker thread (blocking)."""
@@ -316,6 +413,10 @@ class DesignService:
             assignment=assignment,
             config=config,
             engine=engine,
+            # A request deadline degrades gracefully: the sweep stops
+            # scheduling chunks once the budget is spent and the
+            # partial result comes back flagged "degraded": true.
+            deadline_s=params.get("deadline_s"),
         )
         return result.to_dict()
 
@@ -363,9 +464,37 @@ class DesignService:
                 await writer.drain()
 
         while True:
-            line = await reader.readline()
-            if not line:
+            try:
+                line = await reader.readuntil(b"\n")
+            except asyncio.IncompleteReadError as exc:
+                # EOF: a final unterminated line is still a request.
+                line = exc.partial
+                if line.strip():
+                    task = asyncio.create_task(respond(line))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
                 break
+            except asyncio.LimitOverrunError:
+                # The line exceeds max_request_bytes: answer with a
+                # typed contract error and discard through the next
+                # newline — the connection (and any pipelined requests
+                # after the newline) survives.
+                response = error_response(
+                    None,
+                    None,
+                    ContractError(
+                        "request line exceeds the server's "
+                        f"{self.max_request_bytes}-byte limit"
+                    ),
+                ).to_dict()
+                async with write_lock:
+                    writer.write(
+                        json.dumps(response).encode("utf-8") + b"\n"
+                    )
+                    await writer.drain()
+                if not await _discard_oversized_line(reader):
+                    break
+                continue
             if not line.strip():
                 continue
             task = asyncio.create_task(respond(line))
@@ -385,7 +514,10 @@ class DesignService:
         self, host: str = "127.0.0.1", port: int = 8787
     ) -> asyncio.base_events.Server:
         """Bind and return the listening server (``port=0`` = ephemeral)."""
-        return await asyncio.start_server(self.handle_connection, host, port)
+        return await asyncio.start_server(
+            self.handle_connection, host, port,
+            limit=self.max_request_bytes,
+        )
 
     async def serve(self, host: str = "127.0.0.1", port: int = 8787) -> None:
         """Serve requests until cancelled."""
@@ -396,6 +528,25 @@ class DesignService:
         log.info("design service listening on %s", sockets)
         async with server:
             await server.serve_forever()
+
+
+async def _discard_oversized_line(reader: asyncio.StreamReader) -> bool:
+    """Consume the rest of an over-limit request line.
+
+    After a ``LimitOverrunError`` the oversized data is still buffered;
+    ``readuntil`` only ever consumes *through* a separator, so eating
+    ``exc.consumed``-byte chunks until the newline arrives discards the
+    bad line without touching any pipelined request behind it. Returns
+    ``False`` on EOF (nothing left to serve).
+    """
+    while True:
+        try:
+            await reader.readuntil(b"\n")
+            return True
+        except asyncio.LimitOverrunError as exc:
+            await reader.readexactly(exc.consumed)
+        except asyncio.IncompleteReadError:
+            return False
 
 
 # ---------------------------------------------------------------------------

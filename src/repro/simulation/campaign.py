@@ -28,11 +28,13 @@ from __future__ import annotations
 
 import math
 import statistics
+import time
 from dataclasses import asdict, dataclass, field
 
 from repro.core.coregraph import CoreGraph
 from repro.engine.engine import ExplorationEngine
 from repro.engine.jobs import SimulationJob
+from repro.engine.resilience import JobFailure
 from repro.errors import SimulationError
 from repro.simulation.network import SimConfig
 from repro.simulation.patterns import APP_PATTERN, PATTERNS
@@ -234,6 +236,27 @@ def detect_saturation(
     return None
 
 
+@dataclass(frozen=True)
+class CampaignFailure:
+    """One sweep point the resilience runtime could not complete.
+
+    Produced under ``run_campaign(on_failure="skip")``: the point's
+    coordinates plus the terminal
+    :class:`~repro.engine.resilience.JobFailure` story (kind, message,
+    attempts). Failed points are excluded from curves and histograms —
+    the curve over the surviving seeds stays honest — and surfaced here
+    so a degraded sweep is never mistaken for a complete one.
+    """
+
+    pattern: str
+    rate: float
+    seed: int
+    fault_seed: int | None
+    kind: str
+    error: str
+    attempts: int
+
+
 @dataclass
 class CampaignResult:
     """Everything one campaign produced.
@@ -247,6 +270,12 @@ class CampaignResult:
             forwarded during the measurement window, summed over rates,
             seeds and fault variants (``{pattern: {switch_label:
             flits}}``).
+        failures: points lost to infrastructure failures (see
+            :class:`CampaignFailure`; empty on a clean run).
+        degraded: the campaign hit its ``deadline_s`` and returned
+            partial results.
+        skipped_points: sweep points never executed because the
+            deadline expired first.
     """
 
     topology_name: str
@@ -255,6 +284,9 @@ class CampaignResult:
     points: list[CampaignPoint] = field(default_factory=list)
     curves: dict[str, CampaignCurve] = field(default_factory=dict)
     switch_loads: dict[str, dict[str, int]] = field(default_factory=dict)
+    failures: list[CampaignFailure] = field(default_factory=list)
+    degraded: bool = False
+    skipped_points: int = 0
 
     def saturation_rates(self) -> dict[str, float | None]:
         """Detected saturation rate per pattern (``None`` = never)."""
@@ -300,7 +332,7 @@ class CampaignResult:
                 entry["fault_seed"] = p.fault_seed
             return entry
 
-        return {
+        data = {
             "topology": self.topology_name,
             "application": self.application,
             "config": config_dict,
@@ -321,6 +353,15 @@ class CampaignResult:
             },
             "points": [_point_dict(p) for p in self.points],
         }
+        # Resilience keys appear only on imperfect runs, so clean
+        # campaign dictionaries stay byte-identical to pre-resilience
+        # output (same contract as the fault keys above).
+        if self.failures:
+            data["failures"] = [asdict(f) for f in self.failures]
+        if self.degraded:
+            data["degraded"] = True
+            data["skipped_points"] = self.skipped_points
+        return data
 
     def summary(self) -> str:
         """Human-readable curve tables plus saturation and hot switches."""
@@ -368,6 +409,24 @@ class CampaignResult:
             )[:3]
             hot = ", ".join(f"{name} ({flits})" for name, flits in hottest)
             lines.append(f"hottest switches  {pattern}: {hot}")
+        if self.failures:
+            kinds = ", ".join(
+                f"{f.pattern}@{f.rate:g}/s{f.seed} ({f.kind})"
+                for f in self.failures[:5]
+            )
+            more = (
+                f" and {len(self.failures) - 5} more"
+                if len(self.failures) > 5
+                else ""
+            )
+            lines.append(
+                f"failed points     {len(self.failures)}: {kinds}{more}"
+            )
+        if self.degraded:
+            lines.append(
+                "DEGRADED          deadline expired; "
+                f"{self.skipped_points} points skipped"
+            )
         return "\n".join(lines)
 
 
@@ -469,6 +528,9 @@ def run_campaign(
     engine: ExplorationEngine | None = None,
     jobs: int = 1,
     cache_backend=None,
+    journal=None,
+    on_failure: str = "raise",
+    deadline_s: float | None = None,
 ) -> CampaignResult:
     """Sweep a topology across patterns, rates and seeds.
 
@@ -488,6 +550,19 @@ def run_campaign(
         cache_backend: persistent cache storage spec (e.g.
             ``"sqlite:evals.db"``) for the engine built when ``engine``
             is not given; warm campaign points skip simulation.
+        journal: optional :class:`~repro.engine.journal.RunJournal` —
+            completed points are appended to it, and on a resume
+            journal they replay bit-identically instead of re-running.
+        on_failure: ``"raise"`` (default) re-raises the first
+            infrastructure failure; ``"skip"`` records failed points in
+            :attr:`CampaignResult.failures` and builds curves from the
+            survivors.
+        deadline_s: optional wall-clock budget; the sweep runs in
+            per-(fault variant, pattern) chunks and stops scheduling
+            new chunks once the budget is spent, returning partial
+            results flagged :attr:`CampaignResult.degraded` (at least
+            the first chunk always runs). ``None`` (default) runs the
+            whole sweep as a single engine pass.
 
     Raises:
         SimulationError: invalid config, or ``"app"`` swept without a
@@ -502,9 +577,12 @@ def run_campaign(
             "and mapping were given; pass core_graph= and assignment=, "
             "or drop 'app' from CampaignConfig.patterns"
         )
-    engine = engine or ExplorationEngine(
-        jobs=jobs, cache_backend=cache_backend
-    )
+    if engine is None:
+        engine = ExplorationEngine(
+            jobs=jobs, cache_backend=cache_backend, journal=journal
+        )
+    elif journal is not None and engine.journal is None:
+        engine.journal = journal
     job_list = campaign_jobs(
         topology, config, core_graph=core_graph, assignment=assignment
     )
@@ -513,6 +591,29 @@ def run_campaign(
         application=None if core_graph is None else core_graph.name,
         config=config,
     )
+    if deadline_s is None:
+        # One engine pass: exactly the pre-deadline execution shape
+        # (one executor fan-out, maximal batching).
+        outcomes = engine.run(job_list, on_failure=on_failure)
+    else:
+        # Chunk by (fault variant, pattern): coarse enough to keep the
+        # executor busy, fine enough that an expired deadline skips
+        # whole recognisable curve groups. The first chunk always runs,
+        # so a degraded result is partial, never empty.
+        outcomes = []
+        deadline = time.monotonic() + deadline_s
+        chunk = len(config.rates) * len(config.seeds)
+        for start in range(0, len(job_list), chunk):
+            if start > 0 and time.monotonic() >= deadline:
+                result.degraded = True
+                result.skipped_points = len(job_list) - start
+                break
+            outcomes.extend(
+                engine.run(
+                    job_list[start:start + chunk], on_failure=on_failure
+                )
+            )
+
     # Jobs are fault-variant major: recover each point's fault seed from
     # its index (campaign_fault_variants is deterministic, so this
     # matches the fabrics campaign_jobs actually submitted).
@@ -520,7 +621,21 @@ def run_campaign(
         fs for fs, _ in campaign_fault_variants(topology, config)
     ]
     per_variant = len(job_list) // len(fault_seeds)
-    for i, (job, outcome) in enumerate(zip(job_list, engine.run(job_list))):
+    for i, (job, outcome) in enumerate(zip(job_list, outcomes)):
+        fault_seed = fault_seeds[i // per_variant]
+        if isinstance(outcome, JobFailure):
+            result.failures.append(
+                CampaignFailure(
+                    pattern=job.pattern,
+                    rate=job.rate,
+                    seed=job.traffic_seed,
+                    fault_seed=fault_seed,
+                    kind=outcome.failure_kind,
+                    error=outcome.error or "",
+                    attempts=outcome.attempts,
+                )
+            )
+            continue
         outcome.raise_if_error()
         result.points.append(
             CampaignPoint(
@@ -528,7 +643,7 @@ def run_campaign(
                 rate=job.rate,
                 seed=job.traffic_seed,
                 report=outcome.value,
-                fault_seed=fault_seeds[i // per_variant],
+                fault_seed=fault_seed,
             )
         )
 

@@ -107,6 +107,7 @@ def run_sunmap(
     engine: ExplorationEngine | None = None,
     synthesize=None,
     cache_backend=None,
+    journal=None,
 ) -> SunmapReport:
     """Run the full SUNMAP flow on an application.
 
@@ -137,6 +138,10 @@ def run_sunmap(
             evaluation cache is reused by any further calls made with
             the same engine (each fallback attempt uses a different
             routing code, so escalation itself never hits the cache).
+        journal: optional :class:`~repro.engine.journal.RunJournal`
+            shared by every phase of the flow — completed evaluations
+            and simulation points are appended as they finish and
+            replay bit-identically when the same flow resumes.
 
     Raises:
         ValueError: when ``topologies`` is an empty list — an empty
@@ -153,9 +158,12 @@ def run_sunmap(
                 "instance"
             )
     estimator = estimator or NetworkEstimator()
-    engine = engine or ExplorationEngine(
-        jobs=jobs, cache_backend=cache_backend
-    )
+    if engine is None:
+        engine = ExplorationEngine(
+            jobs=jobs, cache_backend=cache_backend, journal=journal
+        )
+    elif journal is not None and engine.journal is None:
+        engine.journal = journal
     attempted: list[str] = []
     selection: SelectionResult | None = None
     for code in (routing, *[c for c in routing_fallbacks if c != routing]):

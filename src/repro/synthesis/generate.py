@@ -408,6 +408,7 @@ def synthesize_topologies(
     jobs: int = 1,
     engine: ExplorationEngine | None = None,
     cache_backend=None,
+    journal=None,
 ) -> SynthesisResult:
     """Generate and evaluate custom fabrics for an application.
 
@@ -418,14 +419,19 @@ def synthesize_topologies(
 
     ``cache_backend`` gives the auto-built engine persistent storage
     (a :func:`~repro.engine.backends.make_backend` spec); pass
-    ``engine=`` instead to share a cache across calls.
+    ``engine=`` instead to share a cache across calls. ``journal``
+    (a :class:`~repro.engine.journal.RunJournal`) records completed
+    candidate evaluations and replays them bit-identically on resume.
     """
     objective_name = (
         objective if isinstance(objective, str) else objective.name
     )
-    engine = engine or ExplorationEngine(
-        jobs=jobs, cache_backend=cache_backend
-    )
+    if engine is None:
+        engine = ExplorationEngine(
+            jobs=jobs, cache_backend=cache_backend, journal=journal
+        )
+    elif journal is not None and engine.journal is None:
+        engine.journal = journal
     candidates, job_list, pruned = synthesis_jobs(
         core_graph,
         config=config,

@@ -320,3 +320,46 @@ def _child_env() -> dict:
     src = str(Path(__file__).resolve().parents[2] / "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     return env
+
+
+class TestWriteErrors:
+    """Failed cache writes are counted and surfaced, never raised."""
+
+    def test_directory_backend_counts_failed_writes(self, tmp_path, caplog):
+        backend = DirectoryBackend(tmp_path / "store")
+        # Occupy the shard directory's path with a file: mkdir fails.
+        shard = key_fingerprint(KEY_A)[:2]
+        (backend.dir / shard).write_text("not a directory")
+        with caplog.at_level("WARNING", logger="repro.engine.backends"):
+            backend.put(KEY_A, {"cost": 1})
+            backend.put(KEY_A, {"cost": 2})
+        assert backend.write_errors == 2
+        assert backend.get(KEY_A) is None  # dropped, not half-written
+        # Only the first failure warns; repeats are demoted to debug.
+        warnings = [
+            r
+            for r in caplog.records
+            if r.levelname == "WARNING" and "write failed" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+        assert "first write failure" in warnings[0].getMessage()
+
+    def test_sqlite_backend_counts_failed_writes(self, tmp_path):
+        backend = SQLiteBackend(tmp_path / "evals.db")
+        backend._conn.close()  # simulate a store gone bad mid-run
+        backend.put(KEY_A, {"cost": 1})
+        assert backend.write_errors == 1
+
+    def test_cache_stats_mirror_backend_write_errors(self, tmp_path):
+        backend = DirectoryBackend(tmp_path / "store")
+        shard = key_fingerprint(KEY_A)[:2]
+        (backend.dir / shard).write_text("not a directory")
+        cache = EvaluationCache(backend=backend)
+        cache.put(KEY_A, {"cost": 1})
+        assert cache.stats.write_errors == 1
+        assert "1 write error" in str(cache.stats)
+
+    def test_memory_backend_reports_zero(self):
+        cache = EvaluationCache(backend=MemoryBackend())
+        cache.put(KEY_A, "a")
+        assert cache.stats.write_errors == 0

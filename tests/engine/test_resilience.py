@@ -1,0 +1,587 @@
+"""Chaos suite for the resilient execution runtime.
+
+Workers are killed mid-job (``os._exit`` crash bombs), jobs sleep past
+their wall-clock budget, transient failures strike N times before a
+success — and the runtime must degrade exactly as specified: innocents
+finish untouched, pools rebuild, retries re-run the *same* seeded job
+bit-identically, exhausted budgets surface as typed
+:class:`~repro.engine.resilience.JobFailure` results, and a journaled
+run killed mid-sweep resumes bit-identically with ``--resume``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.core.mapper import MapperConfig
+from repro.engine import (
+    EvaluationJob,
+    ExplorationEngine,
+    JobFailure,
+    ProcessExecutor,
+    RetryPolicy,
+    RunJournal,
+    SerialExecutor,
+    classify_failure,
+    key_fingerprint,
+    open_journal,
+)
+from repro.engine.jobs import JobResult, hash_seed, run_job
+from repro.engine.resilience import failure_from
+from repro.errors import (
+    JobFailedError,
+    MappingInfeasibleError,
+    ReproError,
+    RetryableError,
+    ServiceBusyError,
+    WorkerCrashError,
+)
+from repro.simulation.campaign import CampaignConfig, run_campaign
+from repro.topology.library import make_topology
+
+#: Retries with near-zero backoff keep the chaos tests fast.
+FAST_RETRY = RetryPolicy(
+    max_attempts=3, backoff_base_s=0.001, max_backoff_s=0.002
+)
+FAST_MAPPER = MapperConfig(converge=False, swap_rounds=1)
+
+
+@dataclass(frozen=True)
+class ChaosJob:
+    """Minimal picklable job whose behaviour is directed by ``action``.
+
+    ``scratch`` (a per-test temp directory) carries an attempt counter
+    across worker processes, so tests can assert exactly how many times
+    a job really executed.
+    """
+
+    tag: str
+    action: str = "ok"   # ok | crash | sleep | flaky | fatal | pid
+    value: float = 0.0
+    scratch: str | None = None
+    fail_times: int = 0
+
+    def cache_key(self) -> tuple:
+        return ("chaos", self.tag, self.action, self.value, self.fail_times)
+
+    def resolved_seed(self) -> int:
+        return hash_seed(self.cache_key())
+
+    def pinned(self, key: tuple) -> "ChaosJob":
+        return self
+
+
+def _bump_attempts(job: ChaosJob) -> int:
+    """Count this execution in the cross-process scratch file."""
+    if job.scratch is None:
+        return 1
+    path = Path(job.scratch) / f"{job.tag}.attempts"
+    count = int(path.read_text()) if path.exists() else 0
+    path.write_text(str(count + 1))
+    return count + 1
+
+
+def chaos_fn(job: ChaosJob) -> JobResult:
+    """Executor-side chaos dispatcher (module-level: must pickle)."""
+    attempt = _bump_attempts(job)
+    if job.action == "crash":
+        os._exit(17)
+    if job.action == "sleep":
+        time.sleep(job.value)
+    if job.action == "flaky" and attempt <= job.fail_times:
+        raise OSError(f"transient failure #{attempt} of {job.tag}")
+    if job.action == "fatal":
+        raise MappingInfeasibleError(f"{job.tag} is deterministically out")
+    payload = os.getpid() if job.action == "pid" else job.value
+    return JobResult(tag=job.tag, value=payload, seed=job.resolved_seed())
+
+
+def attempts_of(scratch, job: ChaosJob) -> int:
+    path = Path(scratch) / f"{job.tag}.attempts"
+    return int(path.read_text()) if path.exists() else 0
+
+
+def run_all(executor, jobs) -> dict[int, JobResult]:
+    return dict(executor.run(chaos_fn, list(enumerate(jobs))))
+
+
+class TestFailureTaxonomy:
+    def test_transient_failures_are_retryable(self):
+        for exc in (
+            OSError("pipe"),
+            TimeoutError("late"),
+            BrokenProcessPool("worker died"),
+            RetryableError("explicit"),
+            ServiceBusyError("full"),  # RetryableError subclass
+        ):
+            assert classify_failure(exc), exc
+
+    def test_domain_and_unknown_errors_are_final(self):
+        for exc in (
+            ReproError("domain"),
+            MappingInfeasibleError("no mapping"),
+            ValueError("a bug"),
+            RuntimeError("another bug"),
+        ):
+            assert not classify_failure(exc), exc
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_base_s": -1.0},
+            {"max_backoff_s": -0.1},
+            {"jitter": 1.5},
+            {"timeout_s": 0.0},
+        ],
+    )
+    def test_invalid_knobs_are_rejected(self, kwargs):
+        with pytest.raises(ReproError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_is_deterministic_in_seed_and_attempt(self):
+        policy = RetryPolicy()
+        assert policy.delay_s(2, 123) == policy.delay_s(2, 123)
+        assert policy.delay_s(1, 123) != policy.delay_s(2, 123)
+
+    def test_backoff_is_bounded(self):
+        policy = RetryPolicy(
+            backoff_base_s=0.1, backoff_factor=3.0, max_backoff_s=0.5,
+            jitter=0.5,
+        )
+        for attempt in range(1, 10):
+            delay = policy.delay_s(attempt, seed=7)
+            base = min(0.5, 0.1 * 3.0 ** (attempt - 1))
+            assert base * 0.5 <= delay <= base
+
+
+class TestJobFailure:
+    def test_captured_exception_is_reraised_verbatim(self):
+        original = ValueError("the actual bug")
+        failure = failure_from(
+            ChaosJob("j"), original, attempts=1, kind="error"
+        )
+        assert failure.to_exception() is original
+        with pytest.raises(ValueError, match="the actual bug"):
+            failure.raise_if_error()
+
+    def test_uncaptured_exception_becomes_job_failed_error(self):
+        failure = JobFailure(
+            tag="bomb", error="boom", attempts=3, failure_kind="crash"
+        )
+        exc = failure.to_exception()
+        assert isinstance(exc, JobFailedError)
+        assert "bomb" in str(exc) and "3 attempt" in str(exc)
+
+    def test_failure_fields_and_ok_flag(self):
+        failure = failure_from(
+            ChaosJob("t"), OSError("pipe"), attempts=2, kind="error"
+        )
+        assert not failure.ok
+        assert failure.error_type == "OSError"
+        assert failure.attempts == 2
+        assert failure.seed == ChaosJob("t").resolved_seed()
+
+    def test_retagged_preserves_the_failure_subclass(self):
+        failure = failure_from(
+            ChaosJob("t"), OSError("pipe"), attempts=2, kind="timeout"
+        )
+        copy = failure.retagged("renamed", cached=False)
+        assert isinstance(copy, JobFailure)
+        assert copy.attempts == 2
+        assert copy.failure_kind == "timeout"
+        assert copy.tag == "renamed"
+
+
+class TestSerialResilience:
+    def test_flaky_job_recovers_bit_identically(self, tmp_path):
+        flaky = ChaosJob(
+            "flaky", action="flaky", value=4.5,
+            scratch=str(tmp_path), fail_times=2,
+        )
+        result = run_all(SerialExecutor(policy=FAST_RETRY), [flaky])[0]
+        assert result.ok
+        assert attempts_of(tmp_path, flaky) == 3
+        # A retried success is indistinguishable from a first-try one.
+        clean = chaos_fn(ChaosJob("flaky", action="ok", value=4.5))
+        assert result.value == clean.value
+
+    def test_exhausted_budget_yields_typed_failure(self, tmp_path):
+        doomed = ChaosJob(
+            "doomed", action="flaky", scratch=str(tmp_path), fail_times=99
+        )
+        result = run_all(SerialExecutor(policy=FAST_RETRY), [doomed])[0]
+        assert isinstance(result, JobFailure)
+        assert result.attempts == FAST_RETRY.max_attempts
+        assert attempts_of(tmp_path, doomed) == FAST_RETRY.max_attempts
+
+    def test_fatal_error_is_not_retried(self, tmp_path):
+        fatal = ChaosJob("fatal", action="fatal", scratch=str(tmp_path))
+        result = run_all(SerialExecutor(policy=FAST_RETRY), [fatal])[0]
+        assert isinstance(result, JobFailure)
+        assert result.attempts == 1
+        assert result.failure_kind == "error"
+        assert attempts_of(tmp_path, fatal) == 1
+
+
+class TestProcessResilience:
+    def test_crash_bomb_spares_innocent_neighbours(self, tmp_path):
+        jobs = [
+            ChaosJob("a", value=1.0),
+            ChaosJob("bomb", action="crash", scratch=str(tmp_path)),
+            ChaosJob("b", value=2.0),
+            ChaosJob("c", value=3.0),
+        ]
+        executor = ProcessExecutor(
+            max_workers=2,
+            policy=RetryPolicy(
+                max_attempts=2, backoff_base_s=0.001, max_backoff_s=0.002
+            ),
+        )
+        results = run_all(executor, jobs)
+        bomb = results[1]
+        assert isinstance(bomb, JobFailure)
+        assert bomb.failure_kind == "crash"
+        assert bomb.attempts == 2
+        assert "worker process died" in bomb.error
+        for index, value in ((0, 1.0), (2, 2.0), (3, 3.0)):
+            assert results[index].ok
+            assert results[index].value == value
+        assert executor.pool_rebuilds >= 1
+
+    def test_wedged_job_is_timed_out_and_killed(self):
+        jobs = [
+            ChaosJob("wedged", action="sleep", value=60.0),
+            ChaosJob("quick", value=7.0),
+        ]
+        executor = ProcessExecutor(
+            max_workers=2,
+            policy=RetryPolicy(max_attempts=1, timeout_s=0.5),
+        )
+        start = time.monotonic()
+        results = run_all(executor, jobs)
+        assert time.monotonic() - start < 30.0  # nobody waited the 60s out
+        wedged = results[0]
+        assert isinstance(wedged, JobFailure)
+        assert wedged.failure_kind == "timeout"
+        assert "wall-clock budget" in wedged.error
+        assert results[1].ok and results[1].value == 7.0
+
+    def test_pool_flaky_retry_matches_clean_run(self, tmp_path):
+        flaky = ChaosJob(
+            "poolflaky", action="flaky", value=9.0,
+            scratch=str(tmp_path), fail_times=1,
+        )
+        results = run_all(
+            ProcessExecutor(max_workers=2, policy=FAST_RETRY),
+            [flaky, ChaosJob("peer", value=1.0)],
+        )
+        assert results[0].ok
+        assert results[0].value == 9.0
+        assert results[0].seed == flaky.resolved_seed()
+        assert attempts_of(tmp_path, flaky) == 2
+
+    def test_single_job_runs_in_process_without_timeout(self):
+        result = run_all(
+            ProcessExecutor(max_workers=4, policy=FAST_RETRY),
+            [ChaosJob("solo", action="pid")],
+        )[0]
+        assert result.value == os.getpid()  # fast path: no pool spawned
+
+    def test_single_job_uses_a_pool_when_a_timeout_is_set(self):
+        result = run_all(
+            ProcessExecutor(
+                max_workers=4,
+                policy=RetryPolicy(max_attempts=1, timeout_s=30.0),
+            ),
+            [ChaosJob("solo", action="pid")],
+        )[0]
+        assert result.ok
+        assert result.value != os.getpid()  # a killable worker ran it
+
+
+class FailingExecutor:
+    """Engine-test stub: fails the given submission indexes."""
+
+    name = "failing"
+
+    def __init__(self, fail_indexes, exception=None, kind="crash"):
+        self.fail_indexes = set(fail_indexes)
+        self.exception = exception
+        self.kind = kind
+
+    def run(self, fn, indexed_jobs):
+        for position, (index, job) in enumerate(indexed_jobs):
+            if position in self.fail_indexes:
+                exc = self.exception or WorkerCrashError(
+                    f"chaos took {job.tag or index!r}"
+                )
+                yield index, failure_from(job, exc, attempts=3, kind=self.kind)
+            else:
+                yield index, fn(job)
+
+
+def tiny_jobs(tiny_app, topologies=("mesh", "ring")) -> list[EvaluationJob]:
+    return [
+        EvaluationJob(
+            core_graph=tiny_app,
+            topology=make_topology(name, tiny_app.num_cores),
+            config=FAST_MAPPER,
+            tag=name,
+        )
+        for name in topologies
+    ]
+
+
+class TestEngineFailureHandling:
+    def test_on_failure_raise_reraises_the_original(self, tiny_app):
+        sentinel = ValueError("the original exception object")
+        engine = ExplorationEngine(
+            executor=FailingExecutor([0], exception=sentinel, kind="error")
+        )
+        with pytest.raises(ValueError) as excinfo:
+            engine.run(tiny_jobs(tiny_app))
+        assert excinfo.value is sentinel
+        assert engine.failure_stats["error"] == 1
+        assert engine.last_failures == []
+
+    def test_on_failure_skip_surfaces_typed_failures(self, tiny_app):
+        engine = ExplorationEngine(executor=FailingExecutor([0]))
+        jobs = tiny_jobs(tiny_app)
+        results = engine.run(jobs, on_failure="skip")
+        assert isinstance(results[0], JobFailure)
+        assert results[0].tag == jobs[0].tag
+        assert results[1].ok
+        assert len(engine.last_failures) == 1
+        assert engine.failure_stats["crash"] == 1
+
+    def test_failures_are_never_cached_or_journaled(self, tiny_app, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        engine = ExplorationEngine(
+            executor=FailingExecutor([0, 1]), journal=journal
+        )
+        jobs = tiny_jobs(tiny_app)
+        engine.run(jobs, on_failure="skip")
+        assert len(journal) == 0
+        assert engine.cache.get(jobs[0].cache_key()) is None
+        # The same engine retries the work on the next run (no poison).
+        engine.executor = SerialExecutor()
+        results = engine.run(jobs)
+        assert all(r.ok for r in results)
+        assert len(journal) == len(jobs)
+
+    def test_invalid_on_failure_is_rejected(self, tiny_app):
+        engine = ExplorationEngine()
+        with pytest.raises(ReproError):
+            engine.run(tiny_jobs(tiny_app), on_failure="ignore")
+
+
+class TestCampaignResilience:
+    CONFIG = CampaignConfig(
+        rates=(0.05, 0.1),
+        patterns=("uniform", "transpose"),
+        seeds=(1,),
+        warmup=20,
+        measure=60,
+        drain=20,
+    )
+
+    def test_failed_points_degrade_the_sweep(self, tiny_app):
+        topology = make_topology("mesh", tiny_app.num_cores)
+        engine = ExplorationEngine(executor=FailingExecutor([0]))
+        result = run_campaign(
+            topology, config=self.CONFIG, engine=engine, on_failure="skip"
+        )
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.kind == "crash"
+        assert failure.attempts == 3
+        assert (failure.pattern, failure.rate) in {
+            ("uniform", 0.05), ("transpose", 0.05),
+        }
+        assert len(result.points) == 3  # the other points survived
+        assert "failed points" in result.summary()
+        assert result.to_dict()["failures"][0]["kind"] == "crash"
+
+    def test_clean_run_report_shape_is_unchanged(self, tiny_app):
+        topology = make_topology("mesh", tiny_app.num_cores)
+        result = run_campaign(topology, config=self.CONFIG)
+        assert result.failures == []
+        assert not result.degraded
+        for absent in ("failures", "degraded", "skipped_points"):
+            assert absent not in result.to_dict()
+
+    def test_deadline_returns_partial_results_flagged_degraded(
+        self, tiny_app
+    ):
+        topology = make_topology("mesh", tiny_app.num_cores)
+        result = run_campaign(
+            topology, config=self.CONFIG, deadline_s=1e-9
+        )
+        # The first chunk always runs; the rest is shed, and says so.
+        assert result.degraded
+        assert result.skipped_points == 2
+        assert len(result.points) == 2
+        assert "DEGRADED" in result.summary()
+        dumped = result.to_dict()
+        assert dumped["degraded"] is True
+        assert dumped["skipped_points"] == 2
+
+
+def digest(results) -> list[tuple]:
+    """Everything observable about evaluation results (minus cached)."""
+    return [
+        (
+            r.tag,
+            r.seed,
+            round(r.evaluation.cost, 12),
+            tuple(sorted(r.evaluation.assignment.items())),
+        )
+        for r in results
+    ]
+
+
+class TestJournal:
+    def test_record_then_resume_replays_equal_results(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        recorded = JobResult(tag="", value=42.5, seed=7)
+        with RunJournal(path) as journal:
+            journal.record("fp-1", recorded)
+            journal.record("fp-2", JobResult(tag="", value=1.0, seed=9))
+        resumed = RunJournal(path, resume=True)
+        assert resumed.stats.loaded == 2
+        assert resumed.get("fp-1") == recorded
+        assert resumed.get("fp-2") is not None
+        assert resumed.get("missing") is None
+        assert "fp-2" in resumed and len(resumed) == 2
+        assert resumed.stats.replayed == 2
+        resumed.close()
+
+    def test_fresh_open_truncates_stale_records(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("fp-1", JobResult(tag="", value=1.0))
+        with RunJournal(path, resume=False) as journal:
+            assert len(journal) == 0
+        assert path.read_bytes() == b""
+
+    def test_torn_tail_is_truncated_not_trusted(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("fp-1", JobResult(tag="", value=1.0))
+        intact = path.read_bytes()
+        # A SIGKILL mid-write leaves a partial line with no newline.
+        path.write_bytes(intact + b'{"format":"repro-journal-v1","fing')
+        journal = RunJournal(path, resume=True)
+        assert journal.stats.loaded == 1
+        assert journal.stats.truncated == 1
+        assert journal.get("fp-1") is not None
+        journal.record("fp-2", JobResult(tag="", value=2.0))
+        journal.close()
+        assert RunJournal(path, resume=True).stats.loaded == 2
+        assert path.read_bytes().startswith(intact)
+
+    def test_garbage_file_resumes_as_empty(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_bytes(b"not a journal at all\n\x00\xff\n")
+        journal = RunJournal(path, resume=True)
+        assert len(journal) == 0
+        assert journal.stats.truncated == 2
+        assert path.read_bytes() == b""
+
+    def test_open_journal_helper(self, tmp_path):
+        assert open_journal(None) is None
+        assert open_journal("") is None
+        with pytest.raises(ReproError, match="--resume requires"):
+            open_journal(None, resume=True)
+        journal = open_journal(tmp_path / "j.jsonl")
+        assert isinstance(journal, RunJournal)
+        journal.close()
+
+    def test_engine_resume_is_bit_identical(self, tiny_app, tmp_path):
+        path = tmp_path / "run.jsonl"
+        jobs = tiny_jobs(tiny_app, ("mesh", "ring", "star"))
+        with RunJournal(path) as journal:
+            first = ExplorationEngine(journal=journal).run(jobs)
+        # Fresh engine, empty cache: everything must come from replay.
+        journal = RunJournal(path, resume=True)
+        engine = ExplorationEngine(journal=journal)
+        second = engine.run(jobs)
+        assert digest(second) == digest(first)
+        assert all(r.cached for r in second)
+        assert journal.stats.replayed == len(jobs)
+        assert journal.stats.recorded == 0
+        # And identical to a run that never involved a journal at all.
+        bare = ExplorationEngine().run(jobs)
+        assert digest(bare) == digest(first)
+        journal.close()
+
+
+CLI_CAMPAIGN = [
+    "simulate", "--app", "vopd", "--topology", "mesh",
+    "--rates", "0.05,0.08,0.1", "--patterns", "uniform,transpose",
+    "--seeds", "1", "--cycles", "800", "--warmup", "150", "--drain", "300",
+]
+
+
+def run_cli(args, timeout=300):
+    repo = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(repo / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True, text=True, timeout=timeout, env=env,
+        cwd=repo,
+    )
+
+
+class TestCliKillResume:
+    def test_killed_campaign_resumes_bit_identically(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        repo = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(repo / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        victim = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", *CLI_CAMPAIGN,
+                "--journal", str(journal),
+            ],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            env=env, cwd=repo,
+        )
+        # Let it journal at least one completed point, then kill it the
+        # hard way (no cleanup handlers run).
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if journal.exists() and journal.stat().st_size > 0:
+                break
+            if victim.poll() is not None:
+                break  # finished whole; resume will replay everything
+            time.sleep(0.05)
+        if victim.poll() is None:
+            victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=60)
+        assert journal.exists() and journal.stat().st_size > 0
+
+        resumed = run_cli(
+            [*CLI_CAMPAIGN, "--journal", str(journal), "--resume"]
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        clean = run_cli(CLI_CAMPAIGN)
+        assert clean.returncode == 0, clean.stderr
+        assert resumed.stdout == clean.stdout
