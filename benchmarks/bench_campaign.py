@@ -30,7 +30,11 @@ import time
 from repro.apps import dsp_filter, mpeg4, network_processor, vopd
 from repro.core.greedy import initial_greedy_mapping
 from repro.engine import ExplorationEngine, make_executor
-from repro.simulation.campaign import CampaignConfig, run_campaign
+from repro.simulation.campaign import (
+    CampaignConfig,
+    run_campaign,
+    strip_runtime,
+)
 from repro.topology.library import make_topology
 
 APPS = {
@@ -133,7 +137,8 @@ def main(argv=None) -> int:
     print(f"parallel ({workers} workers): {parallel_s:8.2f} s")
     print(f"speedup: {speedup:.2f}x")
 
-    if serial.to_dict() != parallel.to_dict():
+    if strip_runtime(serial.to_dict()) != strip_runtime(
+            parallel.to_dict()):
         print("FAIL: parallel campaign differs from serial campaign")
         return 1
     print("results: identical across executors")

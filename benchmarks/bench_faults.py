@@ -38,7 +38,11 @@ from repro.apps import dsp_filter, mpeg4, network_processor, vopd
 from repro.core.greedy import initial_greedy_mapping
 from repro.engine import ExplorationEngine, make_executor
 from repro.faults import FaultedTopology, sample_degradations
-from repro.simulation.campaign import CampaignConfig, run_campaign
+from repro.simulation.campaign import (
+    CampaignConfig,
+    run_campaign,
+    strip_runtime,
+)
 from repro.topology.library import make_topology
 
 APPS = {
@@ -170,7 +174,8 @@ def main(argv=None) -> int:
         topology, app, assignment, faulted_cfg, workers
     )
     print(f"faulted  ({workers} workers): {parallel_s:8.2f} s")
-    if serial.to_dict() != parallel.to_dict():
+    if strip_runtime(serial.to_dict()) != strip_runtime(
+            parallel.to_dict()):
         print("FAIL: parallel fault campaign differs from serial")
         return 1
     print(f"faulted results identical across executors | "

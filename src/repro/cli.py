@@ -458,6 +458,7 @@ def _cmd_simulate(args) -> int:
         drain=args.drain,
         faults=args.faults,
         fault_seeds=_csv(args.fault_seeds, int),
+        sim_engine=args.sim_engine,
     )
     journal = _journal(args)
     try:
@@ -727,6 +728,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seeds", default="1", metavar="S1,S2,...",
         help="fault-sampling seeds: one deterministic non-partitioning "
         "fault set per seed; campaign curves average across them",
+    )
+    p.add_argument(
+        "--sim-engine", default="exact", choices=["exact", "batch"],
+        help="campaign simulator lane: 'exact' runs the bit-identical "
+        "reference kernel point by point; 'batch' advances every point "
+        "of a fault variant in lockstep through the vectorized numpy "
+        "kernel (statistically equivalent curves, much faster)",
     )
     p.add_argument(
         "--markdown", action="store_true",

@@ -26,7 +26,13 @@ from repro.core.mapper import MapperConfig
 from repro.engine.backends import key_fingerprint, make_backend
 from repro.engine.cache import EvaluationCache
 from repro.engine.executors import Executor, make_executor
-from repro.engine.jobs import EvaluationJob, JobResult, SimulationJob, run_job
+from repro.engine.jobs import (
+    BatchSimulationJob,
+    EvaluationJob,
+    JobResult,
+    SimulationJob,
+    run_job,
+)
 from repro.engine.journal import RunJournal
 from repro.engine.resilience import JobFailure, RetryPolicy
 from repro.errors import ReproError
@@ -100,7 +106,13 @@ class ExplorationEngine:
         Batches may mix job kinds (mapping searches and simulation
         points share one queue, cache and executor). Cache hits are
         served without executing; duplicate keys within the batch are
-        executed once and fanned out to every submitter. Results are
+        executed once and fanned out to every submitter. A
+        :class:`~repro.engine.jobs.BatchSimulationJob` executes as one
+        unit but is content-keyed *per point*: cached/journaled points
+        are served individually, only the missing subset runs, and
+        completed points land in cache and journal one by one — so a
+        killed batch campaign resumes point-exactly, like the exact
+        lane. Results are
         bit-identical across executors: the reduction is by submission
         index, and per-job seeds are content-derived.
 
@@ -124,8 +136,49 @@ class ExplorationEngine:
         first_index_for_key: dict[tuple, int] = {}
         duplicates: dict[int, list[int]] = {}
         failures: list[JobFailure] = []
+        # Grouped jobs (batched simulation): the group executes as one
+        # unit but caches/journals per point, so a group shrinks to its
+        # cache-missing points before execution and the stored entries
+        # are interchangeable with a later run's differently-composed
+        # groups. index -> (job, per-point results, missing idx, keys).
+        groups: dict[
+            int,
+            tuple[
+                BatchSimulationJob,
+                list[JobResult | None],
+                list[int],
+                list[tuple],
+            ],
+        ] = {}
 
         for index, job in enumerate(jobs):
+            if isinstance(job, BatchSimulationJob):
+                point_keys = job.point_keys()
+                point_results: list[JobResult | None] = []
+                missing: list[int] = []
+                for pi, pkey in enumerate(point_keys):
+                    hit = self.cache.get(pkey)
+                    if hit is None and self.journal is not None:
+                        hit = self.journal.get(key_fingerprint(pkey))
+                        if hit is not None:
+                            self.cache.put(pkey, hit)
+                    if hit is None:
+                        point_results.append(None)
+                        missing.append(pi)
+                    else:
+                        point_results.append(
+                            hit.retagged(job.points[pi].tag, cached=True)
+                        )
+                if not missing:
+                    results[index] = JobResult(
+                        tag=job.tag,
+                        value=tuple(point_results),
+                        cached=True,
+                    )
+                    continue
+                groups[index] = (job, point_results, missing, point_keys)
+                pending.append((index, job.subset(missing)))
+                continue
             key = job.cache_key()
             hit = self.cache.get(key)
             if hit is None and self.journal is not None:
@@ -163,6 +216,21 @@ class ExplorationEngine:
                     results[dup_index] = result.retagged(
                         jobs[dup_index].tag, cached=False
                     )
+                continue
+            if index in groups:
+                job, point_results, missing, point_keys = groups[index]
+                for pi, point_result in zip(missing, result.value):
+                    self.cache.put(point_keys[pi], point_result)
+                    if self.journal is not None:
+                        self.journal.record(
+                            key_fingerprint(point_keys[pi]), point_result
+                        )
+                    point_results[pi] = point_result.retagged(
+                        job.points[pi].tag, cached=False
+                    )
+                results[index] = JobResult(
+                    tag=job.tag, value=tuple(point_results)
+                )
                 continue
             # The cache keeps the pristine result; every caller-facing
             # copy goes through retagged() so its collected list is

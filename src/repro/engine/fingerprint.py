@@ -56,7 +56,17 @@ def topology_fingerprint(topology: Topology) -> str:
     ``(cap_factor, extra_latency)`` to the edge tuple — only when
     non-default, so every pristine fingerprint is byte-stable across
     this change.
+
+    The digest is memoized on the instance: topologies are content-
+    immutable once built (the whole cache layer already relies on
+    that), and a batched campaign keys hundreds of points against one
+    topology object, so walking the graph per point would dominate the
+    keying cost. Equal-content *distinct* objects still hash equal —
+    each just computes its digest once.
     """
+    cached = getattr(topology, "_topology_fingerprint", None)
+    if cached is not None:
+        return cached
     g = topology.graph
     nodes = sorted(
         (repr(n), tuple(round(c, 9) for c in topology.position(n)))
@@ -86,7 +96,12 @@ def topology_fingerprint(topology: Topology) -> str:
         (type(topology).__name__, topology.name, topology.num_slots, nodes,
          edges)
     )
-    return _digest(payload)
+    fingerprint = _digest(payload)
+    try:
+        topology._topology_fingerprint = fingerprint
+    except AttributeError:
+        pass  # slotted/frozen subclass: just recompute next time
+    return fingerprint
 
 
 def _dataclass_key(value) -> tuple:

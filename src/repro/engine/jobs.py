@@ -334,6 +334,95 @@ def execute_simulation_job(job: SimulationJob) -> JobResult:
 
 
 @dataclass(frozen=True)
+class BatchSimulationJob:
+    """A topology-group of campaign points run as one vectorized batch.
+
+    The batch fast lane (:mod:`repro.simulation.batch`) advances every
+    point that shares a fabric in lockstep, so a campaign submits one
+    of these per fault variant instead of one :class:`SimulationJob`
+    per point. The engine treats the group as *content-keyed per
+    point*: each point caches, journals and resumes under its own
+    ``("bsim", …)`` key — the exact kernel's ``("sim", …)`` entries are
+    never served for batch points (the payloads are statistically, not
+    bit-wise, equivalent) and vice versa. Batch results are independent
+    of group composition (see the batch module's determinism
+    contract), which is what makes per-point keys sound.
+
+    Attributes:
+        points: the grouped :class:`SimulationJob` records, all sharing
+            one topology object, simulator config and active-slot set.
+        tag: caller-chosen group label (per-point results keep their
+            own point tags).
+    """
+
+    points: tuple[SimulationJob, ...]
+    tag: str = ""
+
+    def point_keys(self) -> list[tuple]:
+        """Per-point content keys (the unit of caching and resume)."""
+        return [("bsim",) + p.cache_key()[1:] for p in self.points]
+
+    def cache_key(self) -> tuple:
+        """Group key — the ordered tuple of per-point keys."""
+        return ("bsim-group",) + tuple(self.point_keys())
+
+    def subset(self, indices) -> "BatchSimulationJob":
+        """The sub-batch holding only the given point indices."""
+        return BatchSimulationJob(
+            points=tuple(self.points[i] for i in indices), tag=self.tag
+        )
+
+    def resolved_seed(self) -> int:
+        """Content-derived seed (batch lanes derive their own streams)."""
+        return hash_seed(self.cache_key())
+
+    def pinned(self, key: tuple) -> "BatchSimulationJob":
+        """No-op: every batch lane's randomness is already content-keyed."""
+        return self
+
+
+def execute_batch_simulation_job(job: BatchSimulationJob) -> JobResult:
+    """Run one topology-group of campaign points as an array batch.
+
+    Module-level so :class:`ProcessExecutor` can pickle it; the batch
+    simulator is imported lazily so the engine keeps no hard numpy
+    dependency at import time. Returns a group :class:`JobResult`
+    whose ``value`` is the ordered tuple of per-point results — a lane
+    that failed on a captured error (unvectorizable pattern, no route)
+    becomes an error entry while the rest of the group completes; a
+    batch-level captured error fails every point.
+    """
+    from repro.simulation.batch import simulate_batch
+
+    # Per-point results carry no seed: batch lanes derive their own
+    # content-keyed random streams (and hashing a per-point seed here
+    # would re-fingerprint the topology for every lane).
+    try:
+        payloads = simulate_batch(job.points)
+    except CAPTURED_ERRORS as exc:
+        point_results = tuple(
+            JobResult(
+                tag=p.tag,
+                error=str(exc),
+                error_type=type(exc).__name__,
+            )
+            for p in job.points
+        )
+        return JobResult(tag=job.tag, value=point_results)
+    point_results = tuple(
+        JobResult(
+            tag=p.tag,
+            error=str(payload),
+            error_type=type(payload).__name__,
+        )
+        if isinstance(payload, Exception)
+        else JobResult(tag=p.tag, value=payload)
+        for p, payload in zip(job.points, payloads)
+    )
+    return JobResult(tag=job.tag, value=point_results)
+
+
+@dataclass(frozen=True)
 class SynthesisJob:
     """One synthesized-fabric candidate to build and evaluate.
 
@@ -442,6 +531,8 @@ def run_job(job) -> JobResult:
     """Executor-side dispatcher across job kinds (must stay picklable)."""
     if isinstance(job, SimulationJob):
         return execute_simulation_job(job)
+    if isinstance(job, BatchSimulationJob):
+        return execute_batch_simulation_job(job)
     if isinstance(job, SynthesisJob):
         return execute_synthesis_job(job)
     return execute_job(job)

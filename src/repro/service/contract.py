@@ -144,6 +144,7 @@ PARAM_SCHEMAS = {
                 "items": {"type": "integer"},
             },
             "deadline_s": {"type": "number", "exclusiveMinimum": 0},
+            "sim_engine": {"enum": ["exact", "batch"]},
         },
     },
     # The health probe takes no parameters (send "params": {}).
@@ -188,7 +189,9 @@ PARAM_DEFAULTS = {
         "fault_seeds": [1],
         # deadline_s intentionally has no default: absence means "run
         # the whole sweep", and a normalized default would change every
-        # existing campaign fingerprint.
+        # existing campaign fingerprint. sim_engine likewise: absence
+        # means "exact", and normalizing it in would re-fingerprint
+        # every pre-batch campaign request.
     },
     "health": {},
 }

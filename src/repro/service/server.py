@@ -406,6 +406,9 @@ class DesignService:
             drain=params["drain"],
             faults=params["faults"],
             fault_seeds=tuple(params["fault_seeds"]),
+            # Absent means "exact" (kept out of PARAM_DEFAULTS so
+            # pre-batch campaign fingerprints stay stable).
+            sim_engine=params.get("sim_engine", "exact"),
         )
         result = run_campaign(
             topology,

@@ -27,13 +27,12 @@ Typical use::
 from __future__ import annotations
 
 import math
-import statistics
 import time
 from dataclasses import asdict, dataclass, field
 
 from repro.core.coregraph import CoreGraph
 from repro.engine.engine import ExplorationEngine
-from repro.engine.jobs import SimulationJob
+from repro.engine.jobs import BatchSimulationJob, SimulationJob
 from repro.engine.resilience import JobFailure
 from repro.errors import SimulationError
 from repro.simulation.network import SimConfig
@@ -79,6 +78,13 @@ class CampaignConfig:
             fraction of measured packets is delivered…
         latency_blowup: …or when its average latency exceeds this
             multiple of the curve's zero-load (first-rate) latency.
+        sim_engine: which simulator lane measures the points —
+            ``"exact"`` (default) runs the bit-identical reference
+            kernel one point at a time; ``"batch"`` advances every
+            point of a fault variant in lockstep through the
+            vectorized :mod:`~repro.simulation.batch` kernel
+            (statistically equivalent, much faster — see
+            ARCHITECTURE.md's determinism table).
     """
 
     rates: tuple[float, ...] = DEFAULT_RATES
@@ -94,8 +100,14 @@ class CampaignConfig:
     fault_seeds: tuple[int, ...] = (1,)
     saturation_threshold: float = 0.9
     latency_blowup: float = 4.0
+    sim_engine: str = "exact"
 
     def __post_init__(self):
+        if self.sim_engine not in ("exact", "batch"):
+            raise SimulationError(
+                "campaign sim_engine must be 'exact' or 'batch', "
+                f"got {self.sim_engine!r}"
+            )
         if not self.rates:
             raise SimulationError("campaign needs at least one rate")
         if any(r <= 0 for r in self.rates):
@@ -155,7 +167,9 @@ class CampaignPoint:
     """One measured (pattern, rate, seed[, fault seed]) sample.
 
     ``fault_seed`` names the fault variant the point ran on, or
-    ``None`` for the pristine fabric.
+    ``None`` for the pristine fabric. ``sim_engine`` records which
+    simulator lane produced the report (``"exact"`` or ``"batch"``),
+    so mixed-provenance result sets stay attributable.
     """
 
     pattern: str
@@ -163,6 +177,7 @@ class CampaignPoint:
     seed: int
     report: SimReport
     fault_seed: int | None = None
+    sim_engine: str = "exact"
 
 
 @dataclass(frozen=True)
@@ -276,6 +291,10 @@ class CampaignResult:
             partial results.
         skipped_points: sweep points never executed because the
             deadline expired first.
+        runtime: throughput attribution for this run — ``{"sim_engine",
+            "wall_clock_s", "points_per_sec"}`` measured around the
+            engine passes. Volatile by nature (wall clock), so
+            bit-identity comparisons go through :func:`strip_runtime`.
     """
 
     topology_name: str
@@ -287,6 +306,7 @@ class CampaignResult:
     failures: list[CampaignFailure] = field(default_factory=list)
     degraded: bool = False
     skipped_points: int = 0
+    runtime: dict | None = None
 
     def saturation_rates(self) -> dict[str, float | None]:
         """Detected saturation rate per pattern (``None`` = never)."""
@@ -301,7 +321,12 @@ class CampaignResult:
         Fault keys (``config.faults``/``config.fault_seeds`` and the
         per-point ``fault_seed``) appear only when the campaign swept
         faults, so pristine campaign dictionaries are byte-identical to
-        what they were before the fault axis existed.
+        what they were before the fault axis existed. The same contract
+        covers the batch lane: ``sim_engine`` keys (config and
+        per-point) appear only when it differs from ``"exact"``. The
+        ``runtime`` block is the one intentionally volatile key (wall
+        clock); strip it with :func:`strip_runtime` before bit-identity
+        comparisons.
         """
         config_dict = {
             "rates": list(self.config.rates),
@@ -315,6 +340,8 @@ class CampaignResult:
         if self.config.faults:
             config_dict["faults"] = self.config.faults
             config_dict["fault_seeds"] = list(self.config.fault_seeds)
+        if self.config.sim_engine != "exact":
+            config_dict["sim_engine"] = self.config.sim_engine
 
         def _point_dict(p: CampaignPoint) -> dict:
             entry = {
@@ -330,6 +357,8 @@ class CampaignResult:
             }
             if p.fault_seed is not None:
                 entry["fault_seed"] = p.fault_seed
+            if p.sim_engine != "exact":
+                entry["sim_engine"] = p.sim_engine
             return entry
 
         data = {
@@ -361,6 +390,8 @@ class CampaignResult:
         if self.degraded:
             data["degraded"] = True
             data["skipped_points"] = self.skipped_points
+        if self.runtime is not None:
+            data["runtime"] = dict(self.runtime)
         return data
 
     def summary(self) -> str:
@@ -427,7 +458,29 @@ class CampaignResult:
                 "DEGRADED          deadline expired; "
                 f"{self.skipped_points} points skipped"
             )
+        if self.runtime is not None:
+            # Deliberately the only wall-clock-volatile summary line,
+            # and it always starts with "runtime" so byte-identity
+            # consumers (CI resume diff) can filter it.
+            lines.append(
+                f"runtime           {self.runtime['sim_engine']} engine: "
+                f"{self.runtime['wall_clock_s']:.2f}s wall, "
+                f"{self.runtime['points_per_sec']:.1f} points/s"
+            )
         return "\n".join(lines)
+
+
+def strip_runtime(payload: dict) -> dict:
+    """A copy of a campaign dict without the volatile ``runtime`` block.
+
+    :meth:`CampaignResult.to_dict` is byte-stable except for the
+    wall-clock throughput record; identity checks (resume vs clean run,
+    ``jobs=1`` vs ``jobs=N``) compare ``strip_runtime(a) ==
+    strip_runtime(b)``.
+    """
+    cleaned = dict(payload)
+    cleaned.pop("runtime", None)
+    return cleaned
 
 
 def campaign_fault_variants(
@@ -591,7 +644,49 @@ def run_campaign(
         application=None if core_graph is None else core_graph.name,
         config=config,
     )
-    if deadline_s is None:
+    # Jobs are fault-variant major: recover each point's fault seed from
+    # its index (campaign_fault_variants is deterministic, so this
+    # matches the fabrics campaign_jobs actually submitted).
+    fault_seeds = [
+        fs for fs, _ in campaign_fault_variants(topology, config)
+    ]
+    per_variant = len(job_list) // len(fault_seeds)
+    started = time.perf_counter()
+    if config.sim_engine == "batch":
+        # Fast lane: one vectorized group per fault variant (each group
+        # shares a fabric, so one batch layout advances its whole
+        # rates × patterns × seeds sweep in lockstep). Groups are
+        # content-keyed per point inside the engine, so cache/journal/
+        # resume behave exactly as in the exact lane; a group-level
+        # infrastructure failure loses that variant's points only.
+        groups = [
+            BatchSimulationJob(
+                points=tuple(
+                    job_list[gi * per_variant:(gi + 1) * per_variant]
+                ),
+                tag="batch" if fs is None else f"batch/f{fs}",
+            )
+            for gi, fs in enumerate(fault_seeds)
+        ]
+        deadline = (
+            None if deadline_s is None else time.monotonic() + deadline_s
+        )
+        outcomes = []
+        for gi, group in enumerate(groups):
+            if (
+                deadline is not None
+                and gi > 0
+                and time.monotonic() >= deadline
+            ):
+                result.degraded = True
+                result.skipped_points = len(job_list) - gi * per_variant
+                break
+            group_outcome = engine.run([group], on_failure=on_failure)[0]
+            if isinstance(group_outcome, JobFailure):
+                outcomes.extend([group_outcome] * len(group.points))
+            else:
+                outcomes.extend(group_outcome.value)
+    elif deadline_s is None:
         # One engine pass: exactly the pre-deadline execution shape
         # (one executor fan-out, maximal batching).
         outcomes = engine.run(job_list, on_failure=on_failure)
@@ -613,14 +708,12 @@ def run_campaign(
                     job_list[start:start + chunk], on_failure=on_failure
                 )
             )
-
-    # Jobs are fault-variant major: recover each point's fault seed from
-    # its index (campaign_fault_variants is deterministic, so this
-    # matches the fabrics campaign_jobs actually submitted).
-    fault_seeds = [
-        fs for fs, _ in campaign_fault_variants(topology, config)
-    ]
-    per_variant = len(job_list) // len(fault_seeds)
+    wall = time.perf_counter() - started
+    result.runtime = {
+        "sim_engine": config.sim_engine,
+        "wall_clock_s": round(wall, 6),
+        "points_per_sec": round(len(outcomes) / wall, 2) if wall else 0.0,
+    }
     for i, (job, outcome) in enumerate(zip(job_list, outcomes)):
         fault_seed = fault_seeds[i // per_variant]
         if isinstance(outcome, JobFailure):
@@ -644,6 +737,7 @@ def run_campaign(
                 seed=job.traffic_seed,
                 report=outcome.value,
                 fault_seed=fault_seed,
+                sim_engine=config.sim_engine,
             )
         )
 
@@ -695,10 +789,17 @@ def _build_curve(
 
 
 def _mean(values: list[float]) -> float:
-    """Mean that propagates unbounded (saturated) samples."""
+    """Mean that propagates unbounded (saturated) samples.
+
+    Uses :func:`math.fsum` so the average is exactly rounded and
+    therefore independent of summation order — batch grouping completes
+    points in a different order than the exact lane, and curve
+    statistics must not depend on which lane (or which batch
+    composition) produced them.
+    """
     if any(not math.isfinite(v) for v in values):
         return float("inf")
-    return statistics.fmean(values)
+    return math.fsum(values) / len(values)
 
 
 def _fmt(value: float) -> str:

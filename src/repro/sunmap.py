@@ -127,6 +127,9 @@ def run_sunmap(
             ``True`` for the default sweep. The campaign runs on the
             winner's topology and mapping under the application trace
             plus synthetic patterns, and lands in ``report.campaign``.
+            Pass a config with ``sim_engine="batch"`` to route the
+            sweep through the vectorized batch kernel (statistically
+            equivalent curves, much faster).
         jobs: parallel worker processes for the selection and simulation
             phases (1 = serial); the report is identical regardless of
             ``jobs``.

@@ -23,7 +23,11 @@ from repro.io import selection_to_dict
 from repro.service import DesignService
 from repro.service.jobqueue import BatchingEngine
 from repro.service.server import submit_async
-from repro.simulation.campaign import CampaignConfig, run_campaign
+from repro.simulation.campaign import (
+    CampaignConfig,
+    run_campaign,
+    strip_runtime,
+)
 from repro.sunmap import run_sunmap
 from repro.synthesis.generate import SynthesisConfig, synthesize_topologies
 from repro.topology.library import make_topology
@@ -122,8 +126,8 @@ class TestBitIdentity:
                 drain=50,
             ),
         )
-        assert canonical(response["result"]) == canonical(
-            json.loads(json.dumps(direct.to_dict()))
+        assert canonical(strip_runtime(response["result"])) == canonical(
+            json.loads(json.dumps(strip_runtime(direct.to_dict())))
         )
 
     @pytest.mark.parametrize("spec", ["sqlite:{}/evals.db", "dir:{}/store"])
@@ -134,7 +138,9 @@ class TestBitIdentity:
         warm_service = DesignService(cache_backend=spec)
         warm = handle(warm_service, CAMPAIGN)
         assert warm_service.engine.cache.stats.misses == 0
-        assert canonical(cold["result"]) == canonical(warm["result"])
+        assert canonical(strip_runtime(cold["result"])) == canonical(
+            strip_runtime(warm["result"])
+        )
 
 
 class TestInFlightDedup:
