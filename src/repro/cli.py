@@ -30,6 +30,12 @@ a run journal as it finishes; after a crash or a kill, re-running the
 same command with ``--resume`` replays the journaled prefix and only
 computes what is missing — the output is bit-identical to an
 uninterrupted run.
+
+Observability (``docs/OBSERVABILITY.md``): ``--trace PATH`` appends
+structured spans to a JSONL file, ``--metrics PATH`` dumps the process
+metrics registry in Prometheus text format on exit, and the global
+``--log-level``/``-v`` flags tune the unified ``repro`` logger. All of
+it is passive — traced runs produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -106,6 +112,17 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
         help="resume from an existing --journal file: journaled "
         "results replay bit-identically and only missing work is "
         "computed (a torn final line from a crash is truncated)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="append structured spans (engine passes, per-job timings, "
+        "campaign runs) to a JSONL trace file; tracing is passive and "
+        "never changes results",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the process metrics registry in Prometheus text "
+        "format to PATH when the command finishes",
     )
 
 
@@ -594,6 +611,21 @@ def build_parser() -> argparse.ArgumentParser:
         prog="sunmap",
         description="SUNMAP reproduction: NoC topology selection & generation",
     )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        choices=["DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"],
+        help="logging threshold for the unified 'repro' logger "
+        "(default WARNING; overrides -v)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="raise log verbosity: -v = INFO, -vv = DEBUG "
+        "(place before the command name)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines instead of plain text",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("apps", help="list benchmark applications")
@@ -818,8 +850,46 @@ _COMMANDS = {
 }
 
 
+def _log_level(args) -> str:
+    """Resolve --log-level / -v into a level name (explicit flag wins)."""
+    if args.log_level:
+        return args.log_level
+    if args.verbose >= 2:
+        return "DEBUG"
+    if args.verbose == 1:
+        return "INFO"
+    return "WARNING"
+
+
+def _setup_observability(args):
+    """Configure logging and install the --trace sink; return the sink."""
+    from repro.obs import JsonlSink, add_sink, configure_logging
+
+    configure_logging(level=_log_level(args), json=args.log_json)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return None
+    sink = JsonlSink(trace_path)
+    add_sink(sink)
+    return sink
+
+
+def _teardown_observability(args, sink) -> None:
+    """Detach the trace sink and honour --metrics on command exit."""
+    from repro.obs import get_registry, remove_sink
+
+    if sink is not None:
+        remove_sink(sink)
+        sink.close()
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path:
+        with open(metrics_path, "w", encoding="utf-8") as handle:
+            handle.write(get_registry().exposition())
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    sink = _setup_observability(args)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:
@@ -838,6 +908,8 @@ def main(argv: list[str] | None = None) -> int:
         # BrokenPipeError, which is an OSError subclass.
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        _teardown_observability(args, sink)
 
 
 if __name__ == "__main__":

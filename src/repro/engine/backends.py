@@ -36,7 +36,15 @@ from pathlib import Path
 from threading import RLock
 from typing import Protocol, runtime_checkable
 
+from repro.obs import metrics as obs_metrics
+
 log = logging.getLogger(__name__)
+
+_WRITE_ERRORS = obs_metrics.REGISTRY.counter(
+    "repro_cache_write_errors_total",
+    "Cache writes the backend had to drop (store locked, full, read-only)",
+    ("backend",),
+)
 
 #: Version of the on-disk payload schema. Bump when the pickled result
 #: types or the cache-key composition change incompatibly; stores written
@@ -57,15 +65,19 @@ def key_fingerprint(key: tuple) -> str:
     return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
 
 
-def _log_write_error(count: int, message: str, *args) -> None:
-    """Log a dropped cache write: loudly once, quietly afterwards.
+def _log_write_error(backend: str, count: int, message: str, *args) -> None:
+    """Log and count a dropped cache write: loudly once, quietly afterwards.
 
     Silent write failures used to be invisible beyond per-event log
-    noise; now the first one per backend warns (an operator signal —
-    the store may be read-only, full, or locked) and later ones drop to
-    debug, while the backend's ``write_errors`` counter feeds
+    noise; now the first one per backend warns through the unified
+    ``repro.engine.backends`` logger (an operator signal — the store may
+    be read-only, full, or locked) and later ones drop to debug. Every
+    occurrence increments ``repro_cache_write_errors_total{backend=…}``
+    in the metrics registry, alongside the backend's own
+    ``write_errors`` counter that feeds
     :attr:`repro.engine.cache.CacheStats.write_errors`.
     """
+    _WRITE_ERRORS.inc(backend=backend)
     if count == 1:
         log.warning(message + " (first write failure on this store)", *args)
     else:
@@ -303,6 +315,7 @@ class SQLiteBackend:
             except sqlite3.DatabaseError as exc:
                 self.write_errors += 1
                 _log_write_error(
+                    self.name,
                     self.write_errors,
                     "cache write failed on %s (%s); entry dropped",
                     self.path, exc,
@@ -409,6 +422,7 @@ class DirectoryBackend:
         except OSError as exc:
             self.write_errors += 1
             _log_write_error(
+                self.name,
                 self.write_errors,
                 "cache write failed on %s (%s); entry dropped", path, exc,
             )

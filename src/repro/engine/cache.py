@@ -21,9 +21,25 @@ from threading import Lock
 from typing import TYPE_CHECKING
 
 from repro.engine.backends import CacheBackend, MemoryBackend
+from repro.obs import metrics as obs_metrics
 
 if TYPE_CHECKING:  # break the jobs -> core -> memo -> cache cycle
     from repro.engine.jobs import JobResult
+
+_HITS = obs_metrics.REGISTRY.counter(
+    "repro_cache_hits_total", "Cache lookups served from the store", ("backend",)
+)
+_MISSES = obs_metrics.REGISTRY.counter(
+    "repro_cache_misses_total", "Cache lookups that missed", ("backend",)
+)
+_DEDUP = obs_metrics.REGISTRY.counter(
+    "repro_cache_dedup_total",
+    "In-batch duplicate jobs served from the first submitter",
+    ("backend",),
+)
+_EVICTIONS = obs_metrics.REGISTRY.counter(
+    "repro_cache_evictions_total", "LRU entries evicted by bounded stores", ("backend",)
+)
 
 
 @dataclass
@@ -116,8 +132,10 @@ class EvaluationCache:
             )
             if result is None:
                 self.stats.misses += 1
+                _MISSES.inc(backend=self.backend.name)
             else:
                 self.stats.hits += 1
+                _HITS.inc(backend=self.backend.name)
             return result
 
     def note_deduped(self) -> None:
@@ -129,13 +147,17 @@ class EvaluationCache:
         with self._lock:
             self.stats.hits += 1
             self.stats.misses -= 1
+            _DEDUP.inc(backend=self.backend.name)
 
     def put(self, key: tuple, result: JobResult) -> None:
         """Store ``result`` under ``key`` (a no-op when caching is off)."""
         if self.max_entries == 0:
             return  # caching disabled
         with self._lock:
-            self.stats.evictions += self.backend.put(key, result)
+            evicted = self.backend.put(key, result)
+            self.stats.evictions += evicted
+            if evicted:
+                _EVICTIONS.inc(evicted, backend=self.backend.name)
             # Persistent backends count writes they had to drop; mirror
             # the running total so one CacheStats line tells the story.
             self.stats.write_errors = getattr(

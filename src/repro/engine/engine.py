@@ -31,13 +31,27 @@ from repro.engine.jobs import (
     EvaluationJob,
     JobResult,
     SimulationJob,
+    job_kind,
     run_job,
 )
 from repro.engine.journal import RunJournal
 from repro.engine.resilience import JobFailure, RetryPolicy
 from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.topology.base import Topology
 from repro.topology.library import standard_library
+
+_JOBS = obs_metrics.REGISTRY.counter(
+    "repro_engine_jobs_total",
+    "Jobs the engine resolved, by kind and how they were served",
+    ("kind", "status"),
+)
+_FAILURES = obs_metrics.REGISTRY.counter(
+    "repro_engine_failures_total",
+    "Terminal job failures surfaced by the engine",
+    ("failure",),
+)
 
 
 class ExplorationEngine:
@@ -126,6 +140,18 @@ class ExplorationEngine:
         Failures are never cached or journaled. Per-run stats land in
         :attr:`last_failures` / :attr:`failure_stats`.
         """
+        with obs_trace.span(
+            "engine.run", jobs=len(jobs), executor=self.executor.name
+        ) as sp:
+            return self._run(jobs, on_failure, sp)
+
+    def _run(
+        self,
+        jobs: Sequence[EvaluationJob | SimulationJob],
+        on_failure: str,
+        sp,
+    ) -> list[JobResult]:
+        """Body of :meth:`run`, wrapped in the ``engine.run`` span."""
         if on_failure not in ("raise", "skip"):
             raise ReproError(
                 f"on_failure must be 'raise' or 'skip', got {on_failure!r}"
@@ -169,6 +195,9 @@ class ExplorationEngine:
                         point_results.append(
                             hit.retagged(job.points[pi].tag, cached=True)
                         )
+                cached_points = len(point_keys) - len(missing)
+                if cached_points:
+                    _JOBS.inc(cached_points, kind="batch_sim", status="cached")
                 if not missing:
                     results[index] = JobResult(
                         tag=job.tag,
@@ -188,6 +217,7 @@ class ExplorationEngine:
                     # and the persistent backend see it too.
                     self.cache.put(key, hit)
             if hit is not None:
+                _JOBS.inc(kind=job_kind(job), status="cached")
                 results[index] = hit.retagged(job.tag, cached=True)
                 continue
             if key in first_index_for_key:
@@ -195,6 +225,7 @@ class ExplorationEngine:
                 owner = first_index_for_key[key]
                 duplicates.setdefault(owner, []).append(index)
                 self.cache.note_deduped()
+                _JOBS.inc(kind=job_kind(job), status="deduped")
                 continue
             first_index_for_key[key] = index
             keys[index] = key
@@ -205,6 +236,8 @@ class ExplorationEngine:
                 # Terminal infrastructure failure: never cached, never
                 # journaled — a flaky worker must not poison warm state.
                 self.failure_stats[result.failure_kind] += 1
+                _FAILURES.inc(failure=result.failure_kind)
+                _JOBS.inc(kind=job_kind(jobs[index]), status="failed")
                 if on_failure == "raise":
                     self.last_failures = []
                     raise result.to_exception()
@@ -231,11 +264,13 @@ class ExplorationEngine:
                 results[index] = JobResult(
                     tag=job.tag, value=tuple(point_results)
                 )
+                _JOBS.inc(len(missing), kind="batch_sim", status="computed")
                 continue
             # The cache keeps the pristine result; every caller-facing
             # copy goes through retagged() so its collected list is
             # detached from the cached entry.
             self.cache.put(keys[index], result)
+            _JOBS.inc(kind=job_kind(jobs[index]), status="computed")
             if self.journal is not None:
                 self.journal.record(key_fingerprint(keys[index]), result)
             results[index] = result.retagged(jobs[index].tag, cached=False)
@@ -244,6 +279,7 @@ class ExplorationEngine:
                     jobs[dup_index].tag, cached=True
                 )
         self.last_failures = failures
+        sp.set("failures", len(failures))
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
 

@@ -27,9 +27,10 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Protocol
 
-from repro.engine.jobs import EvaluationJob, JobResult
+from repro.engine.jobs import EvaluationJob, JobResult, job_kind
 from repro.engine.resilience import (
     DEFAULT_RETRY_POLICY,
+    RETRIES,
     RetryPolicy,
     _failure_kind,
     classify_failure,
@@ -37,6 +38,24 @@ from repro.engine.resilience import (
     run_with_retries,
 )
 from repro.errors import JobTimeoutError, ReproError, WorkerCrashError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+_JOB_SECONDS = obs_metrics.REGISTRY.histogram(
+    "repro_job_seconds", "Per-job execution latency by job kind", ("kind",)
+)
+_QUEUE_WAIT = obs_metrics.REGISTRY.histogram(
+    "repro_job_queue_wait_seconds",
+    "Time pool jobs spent queued before a worker slot opened",
+)
+_REBUILDS = obs_metrics.REGISTRY.counter(
+    "repro_engine_pool_rebuilds_total",
+    "Process pools rebuilt after a crash or timeout kill",
+)
+_QUARANTINED = obs_metrics.REGISTRY.counter(
+    "repro_engine_quarantined_total",
+    "Jobs routed to the one-worker quarantine pool",
+)
 
 IndexedJobs = Iterable[tuple[int, EvaluationJob]]
 JobFn = Callable[[EvaluationJob], JobResult]
@@ -45,6 +64,25 @@ JobFn = Callable[[EvaluationJob], JobResult]
 #: is the shared pool, ``QUARANTINE`` the one-worker isolation pool for
 #: crash/timeout suspects.
 _MAIN, _QUARANTINE = "main", "quarantine"
+
+
+def _run_inline(fn, job, policy: RetryPolicy, executor_name: str) -> JobResult:
+    """Run one job in-process, observing its latency and a job span."""
+    start = time.perf_counter()
+    result = run_with_retries(fn, job, policy)
+    duration = time.perf_counter() - start
+    kind = job_kind(job)
+    _JOB_SECONDS.observe(duration, kind=kind)
+    obs_trace.emit(
+        "engine.job",
+        duration,
+        kind=kind,
+        tag=str(getattr(job, "tag", "")),
+        executor=executor_name,
+        attempts=getattr(result, "attempts", 1),
+        ok=bool(getattr(result, "ok", True)),
+    )
+    return result
 
 
 class Executor(Protocol):
@@ -78,18 +116,20 @@ class SerialExecutor:
     ) -> Iterator[tuple[int, JobResult]]:
         """Execute each job inline and yield its result immediately."""
         for index, job in indexed_jobs:
-            yield index, run_with_retries(fn, job, self.policy)
+            yield index, _run_inline(fn, job, self.policy, self.name)
 
 
 class _Inflight:
     """Bookkeeping for one submitted future."""
 
-    __slots__ = ("index", "attempt", "deadline")
+    __slots__ = ("index", "attempt", "deadline", "submitted")
 
     def __init__(self, index: int, attempt: int, deadline: float | None):
         self.index = index
         self.attempt = attempt
         self.deadline = deadline
+        #: ``perf_counter`` at submission (observability: execute time).
+        self.submitted = time.perf_counter()
 
 
 class ProcessExecutor:
@@ -148,7 +188,7 @@ class ProcessExecutor:
             # configured, the pool path runs even for one job: a wall
             # clock needs a killable worker.)
             index, job = indexed[0]
-            yield index, run_with_retries(fn, job, self.policy)
+            yield index, _run_inline(fn, job, self.policy, self.name)
             return
         yield from self._run_pool(fn, indexed)
 
@@ -161,6 +201,10 @@ class ProcessExecutor:
         """Crash-tolerant bounded dispatch over rebuildable pools."""
         policy = self.policy
         jobs = dict(indexed)
+        # Enqueue timestamps (observability): queue wait is measured from
+        # the first time a job entered the dispatch queue to its final
+        # submission, so backoff and rebuild requeues count as waiting.
+        enqueued = {index: time.perf_counter() for index, _ in indexed}
         waiting: deque[tuple[int, int]] = deque(
             (index, 1) for index, _ in indexed
         )
@@ -235,8 +279,10 @@ class ProcessExecutor:
                             jobs, entry, exc, delayed, now, dest=_MAIN
                         )
                         if outcome is not None:
+                            self._observe_done(jobs, entry, enqueued, ok=False)
                             yield entry.index, outcome
                     else:
+                        self._observe_done(jobs, entry, enqueued, ok=True)
                         yield entry.index, result
 
                 if main_crashed:
@@ -257,7 +303,7 @@ class ProcessExecutor:
                     )
                     self._shutdown(solo, kill=True)
                     solo = None
-                    self.pool_rebuilds += 1
+                    self._count_rebuild()
 
                 expired = [
                     (future, entry)
@@ -291,7 +337,7 @@ class ProcessExecutor:
                             yield entry.index, outcome
                     self._shutdown(solo, kill=True)
                     solo = None
-                    self.pool_rebuilds += 1
+                    self._count_rebuild()
             completed = True
         finally:
             self._shutdown(pool, kill=not completed)
@@ -299,6 +345,34 @@ class ProcessExecutor:
                 self._shutdown(solo, kill=not completed)
 
     # -- helpers -----------------------------------------------------------
+    def _observe_done(
+        self, jobs: dict, entry: _Inflight, enqueued: dict, ok: bool
+    ) -> None:
+        """Record latency metrics and a retrospective span for one job."""
+        now = time.perf_counter()
+        duration = now - entry.submitted
+        queue_wait = max(
+            0.0, entry.submitted - enqueued.get(entry.index, entry.submitted)
+        )
+        kind = job_kind(jobs[entry.index])
+        _JOB_SECONDS.observe(duration, kind=kind)
+        _QUEUE_WAIT.observe(queue_wait)
+        obs_trace.emit(
+            "engine.job",
+            duration,
+            kind=kind,
+            tag=str(getattr(jobs[entry.index], "tag", "")),
+            executor=self.name,
+            attempts=entry.attempt,
+            queue_wait_s=round(queue_wait, 6),
+            ok=ok,
+        )
+
+    def _count_rebuild(self) -> None:
+        """Bump both the legacy attribute and the registry counter."""
+        self.pool_rebuilds += 1
+        _REBUILDS.inc()
+
     def _submit(
         self, pool, fn, job, index: int, attempt: int, table: dict
     ) -> None:
@@ -317,7 +391,7 @@ class ProcessExecutor:
             waiting.append((entry.index, entry.attempt))
         inflight.clear()
         self._shutdown(pool, kill=True)
-        self.pool_rebuilds += 1
+        self._count_rebuild()
         return ProcessPoolExecutor(max_workers=self.max_workers)
 
     @staticmethod
@@ -367,6 +441,9 @@ class ProcessExecutor:
         """Schedule a retry under the policy, or return a failure."""
         job = jobs[entry.index]
         if classify_failure(exc) and entry.attempt < self.policy.max_attempts:
+            RETRIES.inc(kind=job_kind(job))
+            if dest == _QUARANTINE:
+                _QUARANTINED.inc()
             seed = getattr(job, "resolved_seed", lambda: 0)()
             ready = now + self.policy.delay_s(entry.attempt, seed)
             delayed.append((ready, entry.index, entry.attempt + 1, dest))
@@ -394,6 +471,7 @@ class ProcessExecutor:
                 yield entry.index, outcome
             return
         for entry in crashed:
+            _QUARANTINED.inc()
             quarantine.append((entry.index, entry.attempt))
 
     def _timed_out(self, jobs, entry: _Inflight, delayed: list, now: float):

@@ -527,6 +527,24 @@ def execute_synthesis_job(job: SynthesisJob) -> JobResult:
     )
 
 
+#: Metric/trace label for each job class (``repro_engine_jobs_total{kind=…}``).
+_KIND_NAMES = {
+    "EvaluationJob": "evaluation",
+    "SimulationJob": "simulation",
+    "BatchSimulationJob": "batch_sim",
+    "SynthesisJob": "synthesis",
+}
+
+
+def job_kind(job) -> str:
+    """Short observability label for ``job``'s kind.
+
+    Foreign job types (tests plug plain callables and stub classes into
+    the executors) fall back to their lowercased class name.
+    """
+    return _KIND_NAMES.get(type(job).__name__, type(job).__name__.lower())
+
+
 def run_job(job) -> JobResult:
     """Executor-side dispatcher across job kinds (must stay picklable)."""
     if isinstance(job, SimulationJob):

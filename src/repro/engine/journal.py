@@ -34,8 +34,19 @@ from pathlib import Path
 
 from repro.engine.jobs import JobResult
 from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
 
 logger = logging.getLogger(__name__)
+
+_RECORDS = obs_metrics.REGISTRY.counter(
+    "repro_journal_records_total", "Completed results appended to run journals"
+)
+_REPLAYED = obs_metrics.REGISTRY.counter(
+    "repro_journal_replayed_total", "Journaled results served on resume"
+)
+_TRUNCATED = obs_metrics.REGISTRY.counter(
+    "repro_journal_truncated_total", "Corrupt/torn journal tail lines discarded"
+)
 
 _FORMAT = "repro-journal-v1"
 
@@ -101,6 +112,7 @@ class RunJournal:
             result = self._results.get(fingerprint)
             if result is not None:
                 self._replayed += 1
+                _REPLAYED.inc()
             return result
 
     def record(self, fingerprint: str, result: JobResult) -> None:
@@ -122,6 +134,7 @@ class RunJournal:
             self._fh.write(line.encode("utf-8") + b"\n")
             self._fh.flush()
             self._recorded += 1
+            _RECORDS.inc()
 
     def __contains__(self, fingerprint: str) -> bool:
         """Whether ``fingerprint`` has a journaled result."""
@@ -184,6 +197,7 @@ class RunJournal:
             self._truncated = tail.count(b"\n") + (
                 0 if tail.endswith(b"\n") else 1
             )
+            _TRUNCATED.inc(self._truncated)
             logger.warning(
                 "journal %s: discarding %d corrupt trailing record(s) "
                 "(%d bytes)",

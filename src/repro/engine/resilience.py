@@ -30,7 +30,8 @@ import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
-from repro.engine.jobs import JobResult, hash_seed
+from repro.engine.jobs import JobResult, hash_seed, job_kind
+from repro.obs import metrics as obs_metrics
 from repro.errors import (
     JobFailedError,
     JobTimeoutError,
@@ -126,6 +127,12 @@ class RetryPolicy:
 #: Policy used when an executor is built without an explicit one.
 DEFAULT_RETRY_POLICY = RetryPolicy()
 
+RETRIES = obs_metrics.REGISTRY.counter(
+    "repro_engine_retries_total",
+    "Transient job failures charged a retry attempt",
+    ("kind",),
+)
+
 
 @dataclass
 class JobFailure(JobResult):
@@ -207,6 +214,7 @@ def run_with_retries(fn, job, policy: RetryPolicy) -> JobResult:
         except Exception as exc:  # noqa: BLE001 - classified below
             kind = _failure_kind(exc)
             if classify_failure(exc) and attempt < policy.max_attempts:
+                RETRIES.inc(kind=job_kind(job))
                 time.sleep(policy.delay_s(attempt, _job_seed(job)))
                 attempt += 1
                 continue

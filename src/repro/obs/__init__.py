@@ -1,0 +1,49 @@
+"""Zero-dependency observability: metrics, tracing, flight recorder.
+
+The package is passive by contract — enabling any part of it changes no
+payload bytes, fingerprints, cache keys, or RNG draws.  See
+``docs/OBSERVABILITY.md`` for the metric catalog and span taxonomy.
+"""
+
+from .logconfig import JsonLogFormatter, configure_logging
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+from .recorder import FlightRecorder, RunReport, environment_fingerprint
+from .trace import (
+    JsonlSink,
+    RingSink,
+    add_sink,
+    emit,
+    remove_sink,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "JsonLogFormatter",
+    "JsonlSink",
+    "MetricsRegistry",
+    "REGISTRY",
+    "RingSink",
+    "RunReport",
+    "add_sink",
+    "configure_logging",
+    "emit",
+    "environment_fingerprint",
+    "get_registry",
+    "remove_sink",
+    "span",
+    "tracing_enabled",
+]

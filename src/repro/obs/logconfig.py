@@ -1,0 +1,69 @@
+"""Unified logging for the ``repro`` package.
+
+Every module logs through ``logging.getLogger(__name__)``, which places
+it under the single ``repro`` root logger.  :func:`configure_logging`
+attaches one stream handler to that root — plain text by default, or
+structured JSON lines with ``json=True`` — and is idempotent, so the
+CLI and tests can call it repeatedly without duplicating handlers.
+"""
+
+from __future__ import annotations
+
+import json as _json
+import logging
+import sys
+from typing import IO
+
+__all__ = ["JsonLogFormatter", "configure_logging"]
+
+#: Marker attribute identifying handlers installed by configure_logging.
+_MARKER = "_repro_obs_handler"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Format records as one JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render ``record`` as a compact JSON line."""
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return _json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure_logging(
+    level: int | str = "INFO",
+    json: bool = False,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Configure the ``repro`` root logger and return it.
+
+    Replaces any handler previously installed by this function (repeat
+    calls reconfigure rather than stack).  ``level`` accepts a logging
+    level name or number; ``json=True`` switches to structured JSON
+    lines; ``stream`` defaults to stderr.
+    """
+    root = logging.getLogger("repro")
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level: {level}")
+    root.setLevel(level)
+    root.propagate = False
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json:
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+    setattr(handler, _MARKER, True)
+    root.handlers = [
+        h for h in root.handlers if not getattr(h, _MARKER, False)
+    ] + [handler]
+    return root

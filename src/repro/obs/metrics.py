@@ -1,0 +1,332 @@
+"""Process-wide metrics registry: counters, gauges and histograms.
+
+The registry is the single home for every operational counter in the
+stack.  It is deliberately zero-dependency and tiny: instruments are
+plain Python objects guarded by one registry-wide lock, which is ample
+for the event rates involved (instruments are bumped per job / per
+request, never per simulated flit or cycle).
+
+Metric families follow the Prometheus naming conventions: counters end
+in ``_total``, timing histograms end in ``_seconds``, and gauges carry
+no suffix.  Every family may be partitioned into labeled series (for
+example ``repro_engine_jobs_total{kind="simulation", status="cached"}``).
+
+Two read-side views exist:
+
+- :meth:`MetricsRegistry.snapshot` — a plain ``dict`` suitable for JSON
+  (used by the service ``metrics`` request kind and the flight recorder),
+- :meth:`MetricsRegistry.exposition` — Prometheus text exposition format
+  (used by the CLI ``--metrics PATH`` flag).
+
+Observability is passive by contract: incrementing an instrument never
+touches payload bytes, cache keys, fingerprints, or any RNG stream.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterable, Mapping
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+]
+
+# Log-spaced latency buckets (seconds): a 1 / 2.5 / 5 ladder from 100 us
+# to 500 s.  Wide enough for both sub-millisecond cache probes and
+# multi-minute campaigns; +Inf is implicit.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus text format expects."""
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value for the text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class _Instrument:
+    """Shared machinery for one metric family (name, labels, series)."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help_text: str,
+        labelnames: tuple[str, ...],
+    ) -> None:
+        """Declare one family: ``name``, help text and its label set."""
+        self._registry = registry
+        self.name = name
+        self.help = help_text
+        self.labelnames = labelnames
+        # label-values tuple (in labelnames order) -> mutable series state
+        self._series: dict[tuple[str, ...], object] = {}
+
+    def _key(self, labels: Mapping[str, object]) -> tuple[str, ...]:
+        """Validate ``labels`` against the family and build a series key."""
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, got {sorted(labels)}"
+            )
+        return tuple(str(labels[n]) for n in self.labelnames)
+
+    def _series_items(self) -> list[tuple[tuple[str, ...], object]]:
+        """Return the series sorted by label values for stable output."""
+        return sorted(self._series.items())
+
+    def _label_suffix(self, key: tuple[str, ...], extra: str = "") -> str:
+        """Render the ``{a="x",b="y"}`` exposition suffix for one series."""
+        parts = [f'{n}="{_escape_label(v)}"' for n, v in zip(self.labelnames, key)]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter(_Instrument):
+    """A monotonically increasing sum, optionally partitioned by labels."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (default 1) to the series selected by ``labels``."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (amount={amount})")
+        key = self._key(labels)
+        with self._registry._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount  # type: ignore[operator]
+
+    def value(self, **labels: object) -> float:
+        """Return the current value of one series (0.0 if never touched)."""
+        key = self._key(labels)
+        with self._registry._lock:
+            return float(self._series.get(key, 0.0))  # type: ignore[arg-type]
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (in-flight requests, rates)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        """Set the series selected by ``labels`` to ``value``."""
+        key = self._key(labels)
+        with self._registry._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (default 1) to the series selected by ``labels``."""
+        key = self._key(labels)
+        with self._registry._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount  # type: ignore[operator]
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        """Subtract ``amount`` (default 1) from the selected series."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        """Return the current value of one series (0.0 if never set)."""
+        key = self._key(labels)
+        with self._registry._lock:
+            return float(self._series.get(key, 0.0))  # type: ignore[arg-type]
+
+
+class Histogram(_Instrument):
+    """A distribution over fixed buckets (cumulative on the read side)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help_text: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...],
+    ) -> None:
+        """Declare the family and validate its bucket ladder."""
+        super().__init__(registry, name, help_text, labelnames)
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError(f"histogram {self.name!r} buckets must be strictly increasing")
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one sample into the series selected by ``labels``."""
+        key = self._key(labels)
+        with self._registry._lock:
+            state = self._series.get(key)
+            if state is None:
+                state = {"count": 0, "sum": 0.0, "buckets": [0] * len(self.buckets)}
+                self._series[key] = state
+            state["count"] += 1  # type: ignore[index]
+            state["sum"] += float(value)  # type: ignore[index]
+            counts = state["buckets"]  # type: ignore[index]
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+
+    def series(self, **labels: object) -> dict:
+        """Return ``{"count", "sum", "buckets"}`` for one series."""
+        key = self._key(labels)
+        with self._registry._lock:
+            state = self._series.get(key)
+            if state is None:
+                return {"count": 0, "sum": 0.0, "buckets": [0] * len(self.buckets)}
+            return {
+                "count": state["count"],  # type: ignore[index]
+                "sum": state["sum"],  # type: ignore[index]
+                "buckets": list(state["buckets"]),  # type: ignore[index]
+            }
+
+
+class MetricsRegistry:
+    """A named collection of metric families with dict and text views.
+
+    Registration is idempotent: asking for an existing family with the
+    same type and labels returns the existing instrument, so modules can
+    declare their instruments at import time without coordination.
+    Mismatched re-registration (different type, labels or buckets) is a
+    programming error and raises ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        """Create an empty registry."""
+        self._lock = threading.Lock()
+        self._families: dict[str, _Instrument] = {}
+
+    def _register(self, instrument: _Instrument) -> _Instrument:
+        """Insert ``instrument`` or return the compatible existing family."""
+        with self._lock:
+            existing = self._families.get(instrument.name)
+            if existing is None:
+                self._families[instrument.name] = instrument
+                return instrument
+            if (
+                existing.kind != instrument.kind
+                or existing.labelnames != instrument.labelnames
+                or getattr(existing, "buckets", None) != getattr(instrument, "buckets", None)
+            ):
+                raise ValueError(
+                    f"metric {instrument.name!r} already registered as "
+                    f"{existing.kind}{existing.labelnames}"
+                )
+            return existing
+
+    def counter(self, name: str, help_text: str = "", labelnames: Iterable[str] = ()) -> Counter:
+        """Declare (or fetch) a counter family."""
+        return self._register(Counter(self, name, help_text, tuple(labelnames)))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str = "", labelnames: Iterable[str] = ()) -> Gauge:
+        """Declare (or fetch) a gauge family."""
+        return self._register(Gauge(self, name, help_text, tuple(labelnames)))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Declare (or fetch) a histogram family with fixed buckets."""
+        return self._register(
+            Histogram(self, name, help_text, tuple(labelnames), buckets)
+        )  # type: ignore[return-value]
+
+    def snapshot(self) -> dict:
+        """Return every family and series as one JSON-ready dict."""
+        out: dict[str, dict] = {}
+        with self._lock:
+            for name in sorted(self._families):
+                fam = self._families[name]
+                series = []
+                for key, state in fam._series_items():
+                    labels = dict(zip(fam.labelnames, key))
+                    if fam.kind == "histogram":
+                        series.append(
+                            {
+                                "labels": labels,
+                                "count": state["count"],  # type: ignore[index]
+                                "sum": state["sum"],  # type: ignore[index]
+                                "buckets": {
+                                    _format_value(b): c
+                                    for b, c in zip(fam.buckets, state["buckets"])  # type: ignore[union-attr,index]
+                                },
+                            }
+                        )
+                    else:
+                        series.append({"labels": labels, "value": state})
+                out[name] = {
+                    "type": fam.kind,
+                    "help": fam.help,
+                    "labelnames": list(fam.labelnames),
+                    "series": series,
+                }
+        return out
+
+    def exposition(self) -> str:
+        """Render the registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        with self._lock:
+            for name in sorted(self._families):
+                fam = self._families[name]
+                lines.append(f"# HELP {name} {fam.help}")
+                lines.append(f"# TYPE {name} {fam.kind}")
+                for key, state in fam._series_items():
+                    if fam.kind == "histogram":
+                        cumulative = 0
+                        for bound, count in zip(fam.buckets, state["buckets"]):  # type: ignore[union-attr,index]
+                            cumulative = count
+                            suffix = fam._label_suffix(key, f'le="{_format_value(bound)}"')
+                            lines.append(f"{name}_bucket{suffix} {cumulative}")
+                        suffix = fam._label_suffix(key, 'le="+Inf"')
+                        lines.append(f"{name}_bucket{suffix} {state['count']}")  # type: ignore[index]
+                        lines.append(
+                            f"{name}_sum{fam._label_suffix(key)} "
+                            f"{_format_value(state['sum'])}"  # type: ignore[index]
+                        )
+                        lines.append(
+                            f"{name}_count{fam._label_suffix(key)} {state['count']}"  # type: ignore[index]
+                        )
+                    else:
+                        lines.append(
+                            f"{name}{fam._label_suffix(key)} {_format_value(state)}"  # type: ignore[arg-type]
+                        )
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Zero every series while keeping family declarations (tests)."""
+        with self._lock:
+            for fam in self._families.values():
+                fam._series.clear()
+
+
+#: The process-wide default registry every instrumented module uses.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """Return the process-wide default :class:`MetricsRegistry`."""
+    return REGISTRY

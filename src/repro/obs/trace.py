@@ -1,0 +1,202 @@
+"""Lightweight span tracing with pluggable sinks.
+
+A *span* is one named, timed region of work — ``engine.run``, one
+executor job, one service request.  Spans nest: the currently open span
+is tracked in a :mod:`contextvars` variable, so child spans opened in
+the same task (including across ``asyncio.to_thread``) record their
+parent automatically.
+
+Tracing is off by default and free when off: :func:`span` checks for
+installed sinks first and yields a shared no-op object without touching
+the context variable.  Span ids come from a plain ``itertools.count`` —
+never from ``random`` — because the passivity contract forbids tracing
+from consuming any RNG stream.
+
+Sinks receive finished spans as plain dicts::
+
+    {"name": "engine.job", "id": 7, "parent": 3, "ts": 1754650000.1,
+     "duration_s": 0.0421, "attrs": {"kind": "simulation"}}
+
+Two sinks ship with the package: :class:`RingSink` (bounded in-memory
+buffer, used by the flight recorder) and :class:`JsonlSink` (append-only
+JSON-lines file, used by the CLI ``--trace PATH`` flag).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import IO, Iterator
+
+__all__ = [
+    "JsonlSink",
+    "RingSink",
+    "add_sink",
+    "emit",
+    "remove_sink",
+    "span",
+    "tracing_enabled",
+]
+
+_SINKS: list = []
+_IDS = itertools.count(1)
+_CURRENT: contextvars.ContextVar[int | None] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class _ActiveSpan:
+    """Handle yielded by :func:`span` while the region is open."""
+
+    __slots__ = ("name", "span_id", "parent_id", "attrs", "start_wall", "start_perf")
+
+    def __init__(self, name: str, span_id: int, parent_id: int | None, attrs: dict) -> None:
+        """Start the clock on one open span."""
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.start_wall = time.time()
+        self.start_perf = time.perf_counter()
+
+    def set(self, key: str, value: object) -> None:
+        """Attach (or overwrite) one attribute on the open span."""
+        self.attrs[key] = value
+
+
+class _NoopSpan:
+    """Shared do-nothing handle yielded when no sinks are installed."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: object) -> None:
+        """Discard the attribute (tracing is off)."""
+
+
+_NOOP = _NoopSpan()
+
+
+def tracing_enabled() -> bool:
+    """Return True when at least one sink is installed."""
+    return bool(_SINKS)
+
+
+def add_sink(sink) -> None:
+    """Install ``sink``; every finished span is passed to ``sink.handle``."""
+    if sink not in _SINKS:
+        _SINKS.append(sink)
+
+
+def remove_sink(sink) -> None:
+    """Uninstall ``sink``; unknown sinks are ignored."""
+    try:
+        _SINKS.remove(sink)
+    except ValueError:
+        pass
+
+
+def _dispatch(record: dict) -> None:
+    """Hand one finished span to every installed sink."""
+    for sink in list(_SINKS):
+        sink.handle(record)
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[_ActiveSpan | _NoopSpan]:
+    """Open a named, timed region; record it to the sinks on exit.
+
+    Usage::
+
+        with span("engine.run", jobs=3) as sp:
+            ...
+            sp.set("computed", n)
+
+    When no sinks are installed this is a cheap no-op.
+    """
+    if not _SINKS:
+        yield _NOOP
+        return
+    parent = _CURRENT.get()
+    active = _ActiveSpan(name, next(_IDS), parent, dict(attrs))
+    token = _CURRENT.set(active.span_id)
+    try:
+        yield active
+    finally:
+        _CURRENT.reset(token)
+        duration = time.perf_counter() - active.start_perf
+        _dispatch(
+            {
+                "name": active.name,
+                "id": active.span_id,
+                "parent": active.parent_id,
+                "ts": active.start_wall,
+                "duration_s": duration,
+                "attrs": active.attrs,
+            }
+        )
+
+
+def emit(name: str, duration_s: float, **attrs: object) -> None:
+    """Record a span retrospectively, after its duration is known.
+
+    The executors use this for per-job spans whose queue-wait and
+    execute times are only known once the future completes.  The span
+    parents onto whatever span is currently open in this context.
+    """
+    if not _SINKS:
+        return
+    _dispatch(
+        {
+            "name": name,
+            "id": next(_IDS),
+            "parent": _CURRENT.get(),
+            "ts": time.time() - duration_s,
+            "duration_s": duration_s,
+            "attrs": dict(attrs),
+        }
+    )
+
+
+class RingSink:
+    """Keep the last ``maxlen`` spans in memory (flight-recorder buffer)."""
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        """Create an empty ring holding at most ``maxlen`` spans."""
+        self._spans: deque = deque(maxlen=maxlen)
+
+    def handle(self, record: dict) -> None:
+        """Append one finished span, evicting the oldest when full."""
+        self._spans.append(record)
+
+    def spans(self) -> list[dict]:
+        """Return the buffered spans, oldest first."""
+        return list(self._spans)
+
+
+class JsonlSink:
+    """Append finished spans to a JSON-lines file, one object per line."""
+
+    def __init__(self, path: str, stream: IO[str] | None = None) -> None:
+        """Open ``path`` for appending (or adopt an existing ``stream``)."""
+        self.path = path
+        self._lock = threading.Lock()
+        self._stream = stream if stream is not None else open(path, "a", encoding="utf-8")
+
+    def handle(self, record: dict) -> None:
+        """Serialize one finished span onto its own line."""
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        with self._lock:
+            try:
+                self._stream.flush()
+            finally:
+                self._stream.close()

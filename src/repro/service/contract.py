@@ -38,7 +38,9 @@ CONTRACT_VERSION = 1
 
 #: Request kinds the service accepts. ``health`` is the operational
 #: probe: no engine work, returns in-flight/budget/cache statistics.
-KINDS = ("select", "synthesize", "campaign", "health")
+#: ``metrics`` is its sibling: no engine work, returns the unified
+#: metrics-registry snapshot (see ``docs/OBSERVABILITY.md``).
+KINDS = ("select", "synthesize", "campaign", "health", "metrics")
 
 #: Cache-control values: ``default`` serves warm results and joins
 #: in-flight duplicates; ``refresh`` recomputes and overwrites warm
@@ -153,6 +155,12 @@ PARAM_SCHEMAS = {
         "additionalProperties": False,
         "properties": {},
     },
+    # The metrics probe likewise takes no parameters.
+    "metrics": {
+        "type": "object",
+        "additionalProperties": False,
+        "properties": {},
+    },
 }
 
 #: Defaults applied by :func:`parse_request` (normalized into the
@@ -194,6 +202,7 @@ PARAM_DEFAULTS = {
         # every pre-batch campaign request.
     },
     "health": {},
+    "metrics": {},
 }
 
 

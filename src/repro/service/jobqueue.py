@@ -35,6 +35,19 @@ from repro.engine.engine import ExplorationEngine
 from repro.engine.jobs import JobResult
 from repro.engine.resilience import JobFailure
 from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
+
+_DEDUPED = obs_metrics.REGISTRY.counter(
+    "repro_service_deduped_total",
+    "Requests that joined an identical in-flight computation",
+)
+_BATCHES = obs_metrics.REGISTRY.counter(
+    "repro_service_batches_total", "Merged engine passes run by the batcher"
+)
+_BATCHED_REQUESTS = obs_metrics.REGISTRY.counter(
+    "repro_service_batched_requests_total",
+    "run() submissions folded into merged passes",
+)
 
 
 class InFlightTable:
@@ -63,6 +76,7 @@ class InFlightTable:
         future = self._futures.get(fingerprint)
         if future is not None:
             self.deduped += 1
+            _DEDUPED.inc()
             return future, False
         future = asyncio.get_running_loop().create_future()
         self._futures[fingerprint] = future
@@ -195,6 +209,8 @@ class BatchingEngine(ExplorationEngine):
         self.batches += 1
         self.batched_requests += len(batch)
         self.largest_batch = max(self.largest_batch, len(batch))
+        _BATCHES.inc()
+        _BATCHED_REQUESTS.inc(len(batch))
         try:
             # Always skip inside the merged pass: a JobFailure belongs
             # to exactly one submission's slice, and only that

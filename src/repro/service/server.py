@@ -2,7 +2,8 @@
 
 :class:`DesignService` is the front door the ROADMAP's service layer
 asks for: it accepts concurrent design requests (``select`` /
-``synthesize`` / ``campaign``, plus the ``health`` probe), validates
+``synthesize`` / ``campaign``, plus the ``health`` and ``metrics``
+probes), validates
 them against the contract (:mod:`repro.service.contract`), dedupes
 identical requests in flight
 (:class:`~repro.service.jobqueue.InFlightTable`), batches the engine
@@ -54,6 +55,8 @@ from repro.io import (
     custom_topology_to_dict,
     selection_to_dict,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.service.contract import (
     DesignRequest,
     error_response,
@@ -67,6 +70,23 @@ from repro.synthesis.generate import SynthesisConfig, synthesize_topologies
 from repro.topology.library import make_topology
 
 log = logging.getLogger(__name__)
+
+_REQUESTS = obs_metrics.REGISTRY.counter(
+    "repro_service_requests_total",
+    "Requests received, by kind (invalid requests count under 'invalid')",
+    ("kind",),
+)
+_BUSY = obs_metrics.REGISTRY.counter(
+    "repro_service_busy_total", "Computations rejected by admission control"
+)
+_INFLIGHT = obs_metrics.REGISTRY.gauge(
+    "repro_service_inflight", "Computations currently admitted"
+)
+_REQUEST_SECONDS = obs_metrics.REGISTRY.histogram(
+    "repro_service_request_seconds",
+    "End-to-end request latency by kind (compute kinds only)",
+    ("kind",),
+)
 
 
 class DesignService:
@@ -148,11 +168,13 @@ class DesignService:
         try:
             request = parse_request(payload)
         except ContractError as exc:
+            _REQUESTS.inc(kind="invalid")
             raw_id = payload.get("id") if isinstance(payload, dict) else None
             raw_kind = (
                 payload.get("kind") if isinstance(payload, dict) else None
             )
             return error_response(raw_kind, raw_id, exc).to_dict()
+        _REQUESTS.inc(kind=request.kind)
         request_id = (
             request.request_id
             if request.request_id is not None
@@ -164,36 +186,57 @@ class DesignService:
             return DesignResponse(
                 kind="health", request_id=request_id, result=self.health()
             ).to_dict()
+        if request.kind == "metrics":
+            # Observability probe: like health, answered on the event
+            # loop even at saturation — the moment you most need it.
+            return DesignResponse(
+                kind="metrics", request_id=request_id, result=self.metrics()
+            ).to_dict()
         start = perf_counter()
         deduped = False
-        try:
-            if request.cache == "default":
-                fingerprint = request.fingerprint()
-                future, owner = self.inflight.join(fingerprint)
-                if owner:
-                    try:
-                        result = await self._compute_admitted(request)
-                    except BaseException as exc:
-                        self.inflight.reject(fingerprint, exc)
-                        raise
-                    self.inflight.resolve(fingerprint, result)
+        with obs_trace.span(
+            "service.request", kind=request.kind, id=request_id
+        ) as sp:
+            try:
+                if request.cache == "default":
+                    fingerprint = request.fingerprint()
+                    future, owner = self.inflight.join(fingerprint)
+                    if owner:
+                        try:
+                            result = await self._compute_admitted(request)
+                        except BaseException as exc:
+                            self.inflight.reject(fingerprint, exc)
+                            raise
+                        self.inflight.resolve(fingerprint, result)
+                    else:
+                        deduped = True
+                        result = await future
                 else:
-                    deduped = True
-                    result = await future
-            else:
-                # refresh/bypass explicitly ask for a fresh computation,
-                # so they never join (or seed) the in-flight table.
-                result = await self._compute_admitted(request)
-        except ReproError as exc:
-            response = error_response(request.kind, request_id, exc)
-            response.stats = {"deduped": deduped}
-            return response.to_dict()
-        elapsed_ms = (perf_counter() - start) * 1000.0
+                    # refresh/bypass explicitly ask for a fresh
+                    # computation, so they never join (or seed) the
+                    # in-flight table.
+                    result = await self._compute_admitted(request)
+            except ReproError as exc:
+                sp.set("deduped", deduped)
+                sp.set("ok", False)
+                _REQUEST_SECONDS.observe(
+                    perf_counter() - start, kind=request.kind
+                )
+                response = error_response(request.kind, request_id, exc)
+                response.stats = {"deduped": deduped}
+                return response.to_dict()
+            elapsed = perf_counter() - start
+            sp.set("deduped", deduped)
+            sp.set("ok", True)
+        _REQUEST_SECONDS.observe(elapsed, kind=request.kind)
         return DesignResponse(
             kind=request.kind,
             request_id=request_id,
             result=result,
-            stats={"elapsed_ms": round(elapsed_ms, 3), "deduped": deduped},
+            stats={
+                "elapsed_ms": round(elapsed * 1000.0, 3),
+                "deduped": deduped,
+            },
         ).to_dict()
 
     async def _compute_admitted(self, request: DesignRequest) -> dict:
@@ -209,17 +252,20 @@ class DesignService:
             and self._admitted >= self.max_inflight
         ):
             self.busy_rejections += 1
+            _BUSY.inc()
             raise ServiceBusyError(
                 f"service at capacity: {self._admitted}/"
                 f"{self.max_inflight} computations in flight; retry later",
                 retry_after_s=self._retry_hint(),
             )
         self._admitted += 1
+        _INFLIGHT.set(self._admitted)
         start = perf_counter()
         try:
             return await asyncio.to_thread(self._compute, request)
         finally:
             self._admitted -= 1
+            _INFLIGHT.set(self._admitted)
             elapsed = perf_counter() - start
             self._ewma_compute_s = (
                 elapsed
@@ -254,6 +300,15 @@ class DesignService:
             "job_failures": dict(self.engine.failure_stats),
             "batches": self.engine.batches,
         }
+
+    def metrics(self) -> dict:
+        """The ``metrics`` probe payload: the unified registry snapshot.
+
+        Served on the event loop like ``health`` — a saturated service
+        still reports its counters, latency histograms and gauges (the
+        full catalog lives in ``docs/OBSERVABILITY.md``).
+        """
+        return obs_metrics.get_registry().snapshot()
 
     def _compute(self, request: DesignRequest) -> dict:
         """Run one request's flow on a worker thread (blocking)."""

@@ -59,11 +59,14 @@ from __future__ import annotations
 
 import hashlib
 import statistics
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import SimulationError, UnsupportedRoutingError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.simulation.network import SimConfig, _kernel_layout
 from repro.simulation.patterns import APP_PATTERN, HOTSPOT_FRACTION, PATTERNS
 from repro.simulation.stats import SimReport, _quantile
@@ -74,6 +77,15 @@ _FREE = -1
 _SOURCE = -2
 _INFINITE_CREDITS = 1 << 30
 _NEVER = 1 << 40
+
+#: Most recent batch-lane kernel throughput. Set where the simulation
+#: runs — under a process executor that is the worker process, so the
+#: parent's registry only sees serial/in-thread batches (documented in
+#: docs/OBSERVABILITY.md).
+_CYCLES_PER_SEC = obs_metrics.REGISTRY.gauge(
+    "repro_batch_cycles_per_sec",
+    "Simulated lane-cycles per wall second of the last batch kernel run",
+)
 
 #: Synthetic patterns whose destination is a pure function of the
 #: source index (vectorized as a precomputed destination map).
@@ -354,10 +366,21 @@ class BatchSimulator:
         if self._ran:
             raise SimulationError("BatchSimulator.run is single-shot")
         self._ran = True
+        start = time.perf_counter()
         self._setup()
         self._advance_all()
         self._finalize_counters()
-        return self._collect()
+        results = self._collect()
+        # Observability (passive): gauge + retrospective span only; the
+        # reports themselves are untouched.
+        elapsed = time.perf_counter() - start
+        cycles = sum(int(lane.cycles) for lane in self.lanes)
+        if elapsed > 0:
+            _CYCLES_PER_SEC.set(cycles / elapsed)
+        obs_trace.emit(
+            "batch.simulate", elapsed, lanes=len(self.lanes), cycles=cycles
+        )
+        return results
 
     # ------------------------------------------------------------------
     # construction of the flat lane-major state

@@ -35,6 +35,8 @@ from repro.engine.engine import ExplorationEngine
 from repro.engine.jobs import BatchSimulationJob, SimulationJob
 from repro.engine.resilience import JobFailure
 from repro.errors import SimulationError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.simulation.network import SimConfig
 from repro.simulation.patterns import APP_PATTERN, PATTERNS
 from repro.simulation.stats import SimReport
@@ -48,6 +50,11 @@ DEFAULT_RATES = (0.05, 0.1, 0.2, 0.35, 0.5, 0.7)
 #: Default pattern mix: the application trace plus the three synthetic
 #: scenarios the related Pareto-exploration work sweeps.
 DEFAULT_PATTERNS = (APP_PATTERN, "uniform", "hotspot", "transpose")
+
+_POINTS_PER_SEC = obs_metrics.REGISTRY.gauge(
+    "repro_campaign_points_per_sec",
+    "Throughput of the most recent campaign sweep (points per second)",
+)
 
 
 @dataclass(frozen=True)
@@ -714,6 +721,17 @@ def run_campaign(
         "wall_clock_s": round(wall, 6),
         "points_per_sec": round(len(outcomes) / wall, 2) if wall else 0.0,
     }
+    # Observability (passive): the gauge and retrospective span mirror
+    # the runtime block — result payload bytes are untouched.
+    _POINTS_PER_SEC.set(result.runtime["points_per_sec"])
+    obs_trace.emit(
+        "campaign.run",
+        wall,
+        topology=topology.name,
+        sim_engine=config.sim_engine,
+        points=len(outcomes),
+        degraded=result.degraded,
+    )
     for i, (job, outcome) in enumerate(zip(job_list, outcomes)):
         fault_seed = fault_seeds[i // per_variant]
         if isinstance(outcome, JobFailure):

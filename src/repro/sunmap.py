@@ -32,6 +32,7 @@ from repro.core.mapper import MapperConfig
 from repro.core.selector import SelectionResult, select_topology
 from repro.engine.engine import ExplorationEngine
 from repro.errors import MappingInfeasibleError
+from repro.obs import recorder as obs_recorder
 from repro.physical.estimate import NetworkEstimator
 from repro.simulation.campaign import (
     CampaignConfig,
@@ -56,6 +57,9 @@ class SunmapReport:
     netlist: Netlist | None = None
     systemc: str | None = None
     campaign: CampaignResult | None = None
+    #: Flight-recorder report (spans + metric deltas) when the flow ran
+    #: with ``observability=True``; never part of result fingerprints.
+    observability: dict | None = None
 
     @property
     def best(self) -> MappingEvaluation | None:
@@ -108,6 +112,7 @@ def run_sunmap(
     synthesize=None,
     cache_backend=None,
     journal=None,
+    observability: bool = False,
 ) -> SunmapReport:
     """Run the full SUNMAP flow on an application.
 
@@ -145,6 +150,12 @@ def run_sunmap(
             shared by every phase of the flow — completed evaluations
             and simulation points are appended as they finish and
             replay bit-identically when the same flow resumes.
+        observability: record the flow with a
+            :class:`~repro.obs.recorder.FlightRecorder` and attach the
+            resulting report dict (spans, metric deltas, environment)
+            as ``report.observability``. Purely passive: the selection,
+            netlist, and campaign payloads are bit-identical either
+            way.
 
     Raises:
         ValueError: when ``topologies`` is an empty list — an empty
@@ -152,6 +163,42 @@ def run_sunmap(
         MappingInfeasibleError: when no topology is feasible under any
             attempted routing function.
     """
+    if observability:
+        with obs_recorder.FlightRecorder(
+            label=f"sunmap:{core_graph.name}"
+        ) as recorder:
+            report = _run_flow(
+                core_graph, routing, objective, constraints, topologies,
+                config, estimator, generate, simulate, routing_fallbacks,
+                jobs, engine, synthesize, cache_backend, journal,
+            )
+        report.observability = recorder.report.to_dict()
+        return report
+    return _run_flow(
+        core_graph, routing, objective, constraints, topologies, config,
+        estimator, generate, simulate, routing_fallbacks, jobs, engine,
+        synthesize, cache_backend, journal,
+    )
+
+
+def _run_flow(
+    core_graph: CoreGraph,
+    routing: str,
+    objective: str,
+    constraints: Constraints | None,
+    topologies: list[Topology] | None,
+    config: MapperConfig | None,
+    estimator: NetworkEstimator | None,
+    generate: bool,
+    simulate: CampaignConfig | bool,
+    routing_fallbacks: tuple[str, ...],
+    jobs: int,
+    engine: ExplorationEngine | None,
+    synthesize,
+    cache_backend,
+    journal,
+) -> SunmapReport:
+    """Body of :func:`run_sunmap`, optionally under a flight recorder."""
     if topologies is not None:
         topologies = list(topologies)
         if not topologies:

@@ -1,0 +1,102 @@
+"""FlightRecorder reports and the unified logging configuration."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    configure_logging,
+    environment_fingerprint,
+    span,
+    tracing_enabled,
+)
+
+
+class TestFlightRecorder:
+    def test_captures_spans_and_counter_deltas(self):
+        reg = MetricsRegistry()
+        jobs = reg.counter("repro_x_jobs_total", "h", ("kind",))
+        jobs.inc(5, kind="evaluation")  # pre-existing traffic
+        with FlightRecorder(label="unit", registry=reg) as rec:
+            jobs.inc(2, kind="evaluation")
+            jobs.inc(1, kind="simulation")
+            with span("engine.run", jobs=3):
+                pass
+        report = rec.report
+        assert report.label == "unit"
+        assert [s["name"] for s in report.spans] == ["engine.run"]
+        # Deltas cover only what moved, relative to the entry snapshot.
+        assert report.metrics_delta == {
+            "repro_x_jobs_total{kind=evaluation}": 2.0,
+            "repro_x_jobs_total{kind=simulation}": 1.0,
+        }
+        assert report.duration_s >= 0
+        assert not tracing_enabled()  # ring uninstalled on exit
+
+    def test_sink_removed_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with FlightRecorder(registry=reg):
+                raise RuntimeError("boom")
+        assert not tracing_enabled()
+
+    def test_to_dict_is_json_serializable(self):
+        reg = MetricsRegistry()
+        with FlightRecorder(registry=reg) as rec:
+            with span("campaign.run", topology="mesh-3x4"):
+                pass
+        payload = json.loads(json.dumps(rec.report.to_dict()))
+        assert set(payload) == {
+            "label", "started_at", "duration_s", "environment",
+            "spans", "metrics", "metrics_delta",
+        }
+        assert payload["environment"] == environment_fingerprint()
+
+    def test_markdown_lists_slowest_spans_first(self):
+        reg = MetricsRegistry()
+        with FlightRecorder(registry=reg) as rec:
+            from repro.obs import emit
+
+            emit("fast", 0.001, kind="a")
+            emit("slow", 2.0, kind="b")
+        text = rec.report.to_markdown(top=2)
+        assert text.index("| slow |") < text.index("| fast |")
+        assert "## flight record" in text
+
+
+class TestLogging:
+    def test_configure_is_idempotent(self):
+        stream = io.StringIO()
+        root = configure_logging(level="INFO", stream=stream)
+        configure_logging(level="INFO", stream=stream)
+        ours = [h for h in root.handlers if getattr(h, "_repro_obs_handler", False)]
+        assert len(ours) == 1
+
+    def test_level_filters_records(self):
+        stream = io.StringIO()
+        configure_logging(level="WARNING", stream=stream)
+        logger = logging.getLogger("repro.obs.testcase")
+        logger.info("quiet")
+        logger.warning("loud")
+        text = stream.getvalue()
+        assert "quiet" not in text
+        assert "loud" in text
+
+    def test_json_lines_mode(self):
+        stream = io.StringIO()
+        configure_logging(level="INFO", json=True, stream=stream)
+        logging.getLogger("repro.obs.testcase").info("structured %d", 7)
+        record = json.loads(stream.getvalue().strip())
+        assert record["msg"] == "structured 7"
+        assert record["level"] == "INFO"
+        assert record["logger"] == "repro.obs.testcase"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="LOUD")

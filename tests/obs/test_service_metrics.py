@@ -1,0 +1,92 @@
+"""The service ``metrics`` request kind: unified registry over the wire."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service import DesignService
+from repro.service.server import submit_async
+
+METRICS = {"v": 1, "kind": "metrics", "params": {}}
+SELECT = {
+    "v": 1,
+    "kind": "select",
+    "params": {"app": "vopd", "routing": "MP"},
+}
+
+
+def handle(service: DesignService, payload: dict) -> dict:
+    return asyncio.run(service.handle(payload))
+
+
+class TestMetricsKind:
+    def test_snapshot_includes_every_layer(self):
+        service = DesignService()
+        warm = handle(service, dict(SELECT, id="warm"))
+        assert warm["ok"]
+        response = handle(service, dict(METRICS, id="m"))
+        assert response["ok"]
+        assert response["kind"] == "metrics"
+        snapshot = response["result"]
+        # One registry across layers: cache, engine, retry, dedup and
+        # latency families all present in a single response.
+        for family in (
+            "repro_cache_hits_total",
+            "repro_cache_misses_total",
+            "repro_service_deduped_total",
+            "repro_engine_retries_total",
+            "repro_engine_jobs_total",
+            "repro_job_seconds",
+            "repro_service_requests_total",
+            "repro_service_request_seconds",
+        ):
+            assert family in snapshot, family
+        # The select above left visible traffic behind.
+        jobs = snapshot["repro_engine_jobs_total"]["series"]
+        assert any(
+            s["labels"] == {"kind": "evaluation", "status": "computed"}
+            and s["value"] > 0
+            for s in jobs
+        )
+        latency = snapshot["repro_job_seconds"]["series"]
+        assert any(s["count"] > 0 for s in latency)
+
+    def test_metrics_payload_is_json_round_trippable(self):
+        service = DesignService()
+        response = handle(service, dict(METRICS, id="m"))
+        assert json.loads(json.dumps(response)) == response
+
+    def test_answered_even_at_saturation(self):
+        """Like ``health``, ``metrics`` bypasses admission control."""
+        service = DesignService(max_inflight=1)
+        service._admitted = 1  # simulate a saturated service
+        response = handle(service, dict(METRICS, id="m"))
+        assert response["ok"]
+        busy = handle(service, dict(SELECT, id="s"))
+        assert not busy["ok"]
+        assert busy["error"]["type"] == "ServiceBusyError"
+
+    def test_over_real_tcp(self):
+        async def scenario():
+            service = DesignService()
+            server = await service.start(port=0)
+            port = server.sockets[0].getsockname()[1]
+            payloads = [dict(SELECT, id="warm"), dict(METRICS, id="m")]
+            responses = [r async for r in submit_async(payloads, port=port)]
+            server.close()
+            await server.wait_closed()
+            return responses
+
+        responses = asyncio.run(scenario())
+        by_id = {r["id"]: r for r in responses}
+        assert by_id["warm"]["ok"]
+        metrics = by_id["m"]
+        assert metrics["ok"]
+        assert "repro_service_requests_total" in metrics["result"]
+        served = {
+            s["labels"]["kind"]: s["value"]
+            for s in metrics["result"]["repro_service_requests_total"]["series"]
+        }
+        assert served.get("select", 0) >= 1
+        assert served.get("metrics", 0) >= 1

@@ -1,0 +1,117 @@
+"""Span tracing: nesting, retrospective emit, sinks, JSONL round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlSink,
+    RingSink,
+    add_sink,
+    emit,
+    remove_sink,
+    span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture
+def ring():
+    """Install a RingSink for the duration of one test."""
+    sink = RingSink()
+    add_sink(sink)
+    yield sink
+    remove_sink(sink)
+
+
+class TestSpans:
+    def test_off_by_default_is_noop(self):
+        assert not tracing_enabled()
+        with span("engine.run", jobs=3) as sp:
+            sp.set("ignored", 1)  # must not raise with tracing off
+
+    def test_nesting_records_parent_ids(self, ring):
+        with span("outer") as outer:
+            with span("inner"):
+                pass
+            outer.set("tagged", True)
+        inner_rec, outer_rec = ring.spans()
+        assert inner_rec["name"] == "inner"
+        assert inner_rec["parent"] == outer_rec["id"]
+        assert outer_rec["parent"] is None
+        assert outer_rec["attrs"] == {"tagged": True}
+        assert outer_rec["duration_s"] >= inner_rec["duration_s"] >= 0
+
+    def test_siblings_share_a_parent(self, ring):
+        with span("outer"):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        a, b, outer = ring.spans()
+        assert a["parent"] == b["parent"] == outer["id"]
+        assert a["id"] != b["id"]
+
+    def test_emit_parents_onto_open_span(self, ring):
+        with span("outer"):
+            emit("engine.job", 0.5, kind="evaluation")
+        job, outer = ring.spans()
+        assert job["parent"] == outer["id"]
+        assert job["duration_s"] == 0.5
+        assert job["attrs"] == {"kind": "evaluation"}
+        # Retrospective start time is backdated by the duration.
+        assert job["ts"] <= outer["ts"] + outer["duration_s"]
+
+    def test_exception_still_records_the_span(self, ring):
+        with pytest.raises(RuntimeError):
+            with span("failing"):
+                raise RuntimeError("boom")
+        assert [s["name"] for s in ring.spans()] == ["failing"]
+
+
+class TestSinks:
+    def test_add_sink_is_idempotent(self):
+        sink = RingSink()
+        add_sink(sink)
+        add_sink(sink)
+        try:
+            with span("once"):
+                pass
+            assert len(sink.spans()) == 1
+        finally:
+            remove_sink(sink)
+        remove_sink(sink)  # second removal is a silent no-op
+
+    def test_ring_sink_bounds_memory(self):
+        sink = RingSink(maxlen=3)
+        add_sink(sink)
+        try:
+            for i in range(5):
+                with span(f"s{i}"):
+                    pass
+        finally:
+            remove_sink(sink)
+        assert [s["name"] for s in sink.spans()] == ["s2", "s3", "s4"]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        add_sink(sink)
+        try:
+            with span("outer", topology="mesh-3x4"):
+                with span("inner"):
+                    pass
+        finally:
+            remove_sink(sink)
+            sink.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        assert records[0]["parent"] == records[1]["id"]
+        assert records[1]["attrs"] == {"topology": "mesh-3x4"}
+        # Every record is one self-contained JSON object with the schema keys.
+        for record in records:
+            assert set(record) == {
+                "name", "id", "parent", "ts", "duration_s", "attrs"
+            }

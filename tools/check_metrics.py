@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Metric-catalog lint: code and docs must agree, both directions.
+
+Cross-checks three sources of truth:
+
+* **Code** — every ``repro_*`` metric family registered anywhere under
+  ``src/repro`` (the ``REGISTRY.counter/gauge/histogram`` calls);
+* **Catalog** — every backticked ``repro_*`` name in the metric tables
+  of ``docs/OBSERVABILITY.md``.
+
+Failures:
+
+* a family registered in code but missing from the catalog
+  (undocumented metric);
+* a catalog entry naming no registered family (stale doc);
+* a family name violating the Prometheus conventions the catalog
+  promises (counters end in ``_total``, timing histograms in
+  ``_seconds``, gauges carry neither suffix).
+
+With ``--validate TRACE.jsonl EXPOSITION.prom`` the script also checks
+CI obs-smoke artifacts: every trace line parses as a span record with
+the documented schema keys, and the exposition file parses as
+Prometheus text format whose sample names belong to a known family.
+
+Exit status is non-zero when anything dangles; every problem is
+reported on its own line.
+
+Run:  python tools/check_metrics.py [--validate TRACE EXPOSITION]
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: One registration call: REGISTRY.counter("repro_x_total", ...) —
+#: possibly via an alias (obs_metrics.REGISTRY / get_registry()).
+REGISTRATION = re.compile(
+    r"\.(counter|gauge|histogram)\(\s*\n?\s*\"(repro_[a-z0-9_]+)\""
+)
+
+#: A catalog row: | `repro_x_total` | counter | ... |
+CATALOG_ROW = re.compile(r"^\|\s*`(repro_[a-z0-9_]+)`\s*\|\s*(\w+)\s*\|")
+
+#: Span-record schema (docs/OBSERVABILITY.md, "Span taxonomy").
+SPAN_KEYS = {"name", "id", "parent", "ts", "duration_s", "attrs"}
+
+#: Prometheus text-format sample line: name{labels} value
+SAMPLE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{.*\})?\s+\S+$")
+
+
+def registered_families() -> dict[str, str]:
+    """Scan ``src/repro`` for registrations: name -> instrument kind."""
+    families: dict[str, str] = {}
+    for path in sorted((REPO / "src" / "repro").rglob("*.py")):
+        for kind, name in REGISTRATION.findall(path.read_text()):
+            families[name] = kind
+    return families
+
+
+def documented_families() -> dict[str, str]:
+    """Parse the catalog tables: name -> documented type."""
+    doc = REPO / "docs" / "OBSERVABILITY.md"
+    documented: dict[str, str] = {}
+    for line in doc.read_text().splitlines():
+        match = CATALOG_ROW.match(line.strip())
+        if match:
+            documented[match.group(1)] = match.group(2)
+    return documented
+
+
+def check_catalog() -> list[str]:
+    """Return every code <-> catalog disagreement."""
+    problems: list[str] = []
+    code = registered_families()
+    docs = documented_families()
+    for name in sorted(set(code) - set(docs)):
+        problems.append(
+            f"{name}: registered in code ({code[name]}) but missing from "
+            f"docs/OBSERVABILITY.md"
+        )
+    for name in sorted(set(docs) - set(code)):
+        problems.append(
+            f"{name}: documented in docs/OBSERVABILITY.md but never "
+            f"registered in src/repro"
+        )
+    for name, kind in sorted(code.items()):
+        if kind == "counter" and not name.endswith("_total"):
+            problems.append(f"{name}: counter must end in _total")
+        if kind == "histogram" and not name.endswith("_seconds"):
+            problems.append(f"{name}: timing histogram must end in _seconds")
+        if kind == "gauge" and name.endswith(("_total", "_seconds")):
+            problems.append(f"{name}: gauge must not carry a counter/histogram suffix")
+        if docs.get(name, kind) != kind:
+            problems.append(
+                f"{name}: documented as {docs[name]} but registered as {kind}"
+            )
+    return problems
+
+
+def check_trace(path: Path) -> list[str]:
+    """Validate one ``--trace`` JSONL artifact against the span schema."""
+    problems: list[str] = []
+    lines = path.read_text().splitlines()
+    if not lines:
+        problems.append(f"{path}: trace file is empty")
+    for number, line in enumerate(lines, 1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{path}:{number}: invalid JSON ({exc})")
+            continue
+        if set(record) != SPAN_KEYS:
+            problems.append(
+                f"{path}:{number}: span keys {sorted(record)} != "
+                f"{sorted(SPAN_KEYS)}"
+            )
+        elif record["duration_s"] < 0:
+            problems.append(f"{path}:{number}: negative duration_s")
+    return problems
+
+
+def check_exposition(path: Path) -> list[str]:
+    """Validate one ``--metrics`` artifact as Prometheus text format."""
+    problems: list[str] = []
+    known = set(registered_families())
+    sample_names: set[str] = set()
+    for number, line in enumerate(path.read_text().splitlines(), 1):
+        if not line or line.startswith("#"):
+            continue
+        match = SAMPLE.match(line)
+        if match is None:
+            problems.append(f"{path}:{number}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if base not in known and name not in known:
+            problems.append(f"{path}:{number}: unknown family for {name!r}")
+        sample_names.add(base if base in known else name)
+    if not sample_names:
+        problems.append(f"{path}: no samples found")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    problems = check_catalog()
+    if argv and argv[0] == "--validate":
+        if len(argv) != 3:
+            print("usage: check_metrics.py [--validate TRACE EXPOSITION]")
+            return 2
+        problems += check_trace(Path(argv[1]))
+        problems += check_exposition(Path(argv[2]))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} metric-catalog problem(s)")
+        return 1
+    suffix = " + artifacts" if argv else ""
+    print(f"metric catalog OK{suffix}: code and docs agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
